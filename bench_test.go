@@ -1,0 +1,232 @@
+package atom_test
+
+// The benchmark harness regenerating the paper's evaluation:
+//
+//   - BenchmarkInstrument/<tool> — Figure 5: time for ATOM to instrument
+//     the 20-program suite with each tool. Reported per-program
+//     (ms/program metric) for comparison with the paper's "Average Time"
+//     column.
+//
+//   - BenchmarkOverhead/<tool> — Figure 6: execution of the instrumented
+//     programs relative to uninstrumented, as the deterministic
+//     instruction ratio (ratio metric) plus wall time.
+//
+//   - BenchmarkSaveMode, BenchmarkRegSummary — ablations of the design
+//     choices Section 4 discusses: wrapper vs in-analysis saves, and the
+//     data-flow register summary vs saving all caller-save registers.
+//
+//   - BenchmarkScheduler, BenchmarkVM, BenchmarkCompile — substrate
+//     costs: pipe's static dual-issue scheduling, raw interpreter speed,
+//     and MiniC compilation.
+//
+// Run everything:  go test -bench=. -benchmem
+// One figure:      go test -bench=BenchmarkOverhead -benchtime=1x
+
+import (
+	"math"
+	"testing"
+
+	"atom/internal/core"
+	"atom/internal/figures"
+	"atom/internal/om"
+	"atom/internal/rtl"
+	"atom/internal/spec"
+	"atom/internal/tools"
+	"atom/internal/vm"
+)
+
+// fig6Programs is the subset used per benchmark iteration; pass
+// -bench=BenchmarkOverhead -benchtime=1x and see EXPERIMENTS.md for the
+// full-suite table (cmd/atom -table fig6).
+var fig6Programs = []string{"eqntott", "queens", "spice", "fpppp", "tomcatv", "gcc"}
+
+// BenchmarkInstrument regenerates Figure 5: instrumentation time per tool
+// across the whole suite.
+func BenchmarkInstrument(b *testing.B) {
+	for _, name := range tools.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			tool, _ := tools.ByName(name)
+			// Build outside the timer (the paper measures ATOM's
+			// processing, not the compiler's).
+			var exes []*core.Result
+			_ = exes
+			var apps []string
+			for _, p := range spec.Suite() {
+				if _, err := spec.Build(p.Name); err != nil {
+					b.Fatal(err)
+				}
+				apps = append(apps, p.Name)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, pn := range apps {
+					exe, _ := spec.Build(pn)
+					if _, err := core.Instrument(exe, tool, core.Options{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			perProg := float64(b.Elapsed().Milliseconds()) / float64(b.N) / float64(len(apps))
+			b.ReportMetric(perProg, "ms/program")
+		})
+	}
+}
+
+// BenchmarkOverhead regenerates Figure 6: the instrumented/uninstrumented
+// instruction ratio per tool (geometric mean over fig6Programs).
+func BenchmarkOverhead(b *testing.B) {
+	for _, name := range tools.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				logSum := 0.0
+				for _, pn := range fig6Programs {
+					r, err := figures.RatioFor(name, pn, core.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					logSum += math.Log(r)
+				}
+				b.ReportMetric(math.Exp(logSum/float64(len(fig6Programs))), "ratio")
+			}
+		})
+	}
+}
+
+// BenchmarkSaveMode ablates the register-save strategy on the branch tool
+// (per-event instrumentation, so the save cost dominates): wrapper
+// routines (default), saves spliced into the analysis routines (the
+// paper's higher optimization option), and both with/without wrappers is
+// visible in the ratio metric.
+func BenchmarkSaveMode(b *testing.B) {
+	cases := []struct {
+		name string
+		opts core.Options
+	}{
+		{"wrapper", core.Options{Mode: core.SaveWrapper}},
+		{"inanalysis", core.Options{Mode: core.SaveInAnalysis}},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := figures.RatioFor("branch", "eqntott", c.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r, "ratio")
+			}
+		})
+	}
+}
+
+// BenchmarkRegSummary ablates the interprocedural data-flow summary: with
+// it, only the registers an analysis routine can clobber are saved;
+// without it, every caller-save register is.
+func BenchmarkRegSummary(b *testing.B) {
+	cases := []struct {
+		name string
+		opts core.Options
+	}{
+		{"summary", core.Options{}},
+		{"save-all", core.Options{NoRegSummary: true}},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := figures.RatioFor("cache", "eqntott", c.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r, "ratio")
+			}
+		})
+	}
+}
+
+// BenchmarkLiveReg ablates the live-register refinement the paper lists
+// as future work (implemented here): dead registers are not saved at
+// sites. The win is modest — most sites save only ra plus argument
+// registers, and those are usually live — matching the paper's guarded
+// expectation ("we expect it to decrease further").
+func BenchmarkLiveReg(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"baseline", core.Options{}},
+		{"livereg", core.Options{LiveRegOpt: true}},
+	} {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := figures.RatioFor("gprof", "spice", c.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r, "ratio")
+			}
+		})
+	}
+}
+
+// BenchmarkScheduler measures pipe's static dual-issue scheduling (the
+// work that makes pipe the slowest tool to instrument with in Figure 5).
+func BenchmarkScheduler(b *testing.B) {
+	exe, err := spec.Build("su2cor")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := om.Build(exe)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := core.NewInstrumentation(prog)
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		for _, p := range prog.Procs {
+			for _, blk := range p.Blocks {
+				c, _ := tools.ScheduleBlock(q, blk)
+				cycles += c
+			}
+		}
+	}
+	_ = cycles
+}
+
+// BenchmarkVM measures raw interpreter speed in instructions per second.
+func BenchmarkVM(b *testing.B) {
+	exe, err := spec.Build("eqntott")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		m, err := vm.New(exe, vm.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		insts += m.Icount
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkCompile measures MiniC compilation of the whole suite.
+func BenchmarkCompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range spec.Suite() {
+			if _, err := rtl.BuildProgram(p.Name+".c", p.Src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

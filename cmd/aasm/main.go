@@ -1,0 +1,43 @@
+// Command aasm assembles Alpha-subset assembly into relocatable object
+// modules.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"atom/internal/asm"
+)
+
+func main() {
+	out := flag.String("o", "", "output path (default: input with .o)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: aasm [-o out.o] file.s")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	obj, err := asm.Assemble(path, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	dst := *out
+	if dst == "" {
+		dst = strings.TrimSuffix(filepath.Base(path), ".s") + ".o"
+	}
+	if err := obj.WriteFile(dst); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aasm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+// Command adis disassembles the text section of an object module or
+// executable, one procedure per section.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+
+	"atom/internal/alpha"
+	"atom/internal/aout"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: adis file")
+		os.Exit(2)
+	}
+	f, err := aout.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adis:", err)
+		os.Exit(1)
+	}
+	fns := f.Funcs()
+	nameAt := map[uint64]string{}
+	for _, fn := range fns {
+		nameAt[fn.Value] = fn.Name
+	}
+	base := f.TextAddr
+	for off := 0; off+4 <= len(f.Text); off += 4 {
+		addr := base + uint64(off)
+		if n, ok := nameAt[addr]; ok {
+			fmt.Printf("\n%s:\n", n)
+		}
+		w := binary.LittleEndian.Uint32(f.Text[off:])
+		in, err := alpha.Decode(w)
+		if err != nil {
+			fmt.Printf("%#10x:  .word %#08x\n", addr, w)
+			continue
+		}
+		s := in.String()
+		if in.Op.Format() == alpha.FormatBranch {
+			target := addr + 4 + uint64(int64(in.Disp)*4)
+			s = fmt.Sprintf("%s %s, %#x", in.Op, in.Ra, target)
+			if tn, ok := nameAt[target]; ok {
+				s += " <" + tn + ">"
+			}
+		}
+		fmt.Printf("%#10x:  %s\n", addr, s)
+	}
+}

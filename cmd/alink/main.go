@@ -1,0 +1,65 @@
+// Command alink links object modules into an executable. By default it
+// adds crt0 and resolves against the runtime library, like cc's driver
+// handing objects to ld.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"atom/internal/aout"
+	"atom/internal/link"
+	"atom/internal/rtl"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "a.x", "output executable")
+		noStdlib = flag.Bool("nostdlib", false, "do not link crt0 and the runtime library")
+		entry    = flag.String("entry", "", `entry symbol (default __start; "-" for none)`)
+		textAddr = flag.Uint64("text", 0, "text load address (default 0x100000)")
+		dataAddr = flag.Uint64("data", 0, "data load address (default 0x400000)")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: alink [-o a.x] file.o...")
+		os.Exit(2)
+	}
+	var objs []*aout.File
+	if !*noStdlib {
+		c0, err := rtl.Crt0()
+		if err != nil {
+			fatal(err)
+		}
+		objs = append(objs, c0)
+	}
+	for _, p := range flag.Args() {
+		obj, err := aout.ReadFile(p)
+		if err != nil {
+			fatal(err)
+		}
+		objs = append(objs, obj)
+	}
+	cfg := link.Config{Entry: *entry, TextAddr: *textAddr, DataAddr: *dataAddr}
+	var libs []*link.Library
+	if !*noStdlib {
+		lib, err := rtl.Lib()
+		if err != nil {
+			fatal(err)
+		}
+		libs = append(libs, lib)
+	}
+	exe, err := link.Link(cfg, objs, libs...)
+	if err != nil {
+		fatal(err)
+	}
+	if err := exe.WriteFile(*out); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "alink:", err)
+	os.Exit(1)
+}

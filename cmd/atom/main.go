@@ -1,0 +1,156 @@
+// Command atom mirrors the paper's command line: it instruments a fully
+// linked application with one of the built-in analysis tools,
+//
+//	atom prog.x -t branch -o prog.atom
+//
+// standing in for `atom prog inst.c anal.c -o prog.atom` (instrumentation
+// routines are Go code, so the built-in tools are selected by name; use
+// the library API to write new ones).
+//
+// It also regenerates the paper's evaluation artifacts:
+//
+//	atom -list              # the 11 tools
+//	atom -table fig5        # Figure 5 (instrumentation time)
+//	atom -table fig6        # Figure 6 (execution-time ratios)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"atom/internal/aout"
+	"atom/internal/core"
+	"atom/internal/figures"
+	"atom/internal/tools"
+)
+
+func main() {
+	var (
+		toolName  = flag.String("t", "", "analysis tool to apply (see -list)")
+		outPath   = flag.String("o", "a.atom", "output executable")
+		toolArgs  = flag.String("args", "", "comma-separated tool arguments (iargv)")
+		mode      = flag.String("mode", "wrapper", "register-save mode: wrapper | inanalysis")
+		heapOff   = flag.Uint64("heap", 0, "partition the heap: analysis zone offset in bytes (0 = linked sbrks)")
+		noSummary = flag.Bool("nosummary", false, "disable the data-flow register summary (save all caller-save registers)")
+		list      = flag.Bool("list", false, "list the built-in tools")
+		table     = flag.String("table", "", "regenerate a paper table: fig5 | fig6")
+		progs     = flag.String("progs", "", "comma-separated suite subset for -table (default: all 20)")
+		stats     = flag.Bool("stats", false, "print instrumentation statistics")
+		layout    = flag.Bool("layout", false, "print the instrumented executable's memory layout (Figure 4)")
+		verbose   = flag.Bool("v", false, "progress output for -table")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, t := range tools.All() {
+			fmt.Printf("%-8s  %s\n", t.Name, t.Description)
+		}
+		return
+	case *table != "":
+		runTable(*table, *progs, *verbose)
+		return
+	}
+
+	if flag.NArg() != 1 || *toolName == "" {
+		fmt.Fprintln(os.Stderr, "usage: atom prog.x -t tool [-o prog.atom] [-mode wrapper|inanalysis] [-heap N]")
+		fmt.Fprintln(os.Stderr, "       atom -list | -table fig5|fig6")
+		os.Exit(2)
+	}
+	app, err := aout.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	tool, ok := tools.ByName(*toolName)
+	if !ok {
+		fatal(fmt.Errorf("unknown tool %q; try -list", *toolName))
+	}
+	opts := core.Options{HeapOffset: *heapOff, NoRegSummary: *noSummary}
+	switch *mode {
+	case "wrapper":
+		opts.Mode = core.SaveWrapper
+	case "inanalysis":
+		opts.Mode = core.SaveInAnalysis
+	default:
+		fatal(fmt.Errorf("bad -mode %q", *mode))
+	}
+	if *toolArgs != "" {
+		opts.ToolArgs = strings.Split(*toolArgs, ",")
+	}
+	res, err := core.Instrument(app, tool, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if err := res.Exe.WriteFile(*outPath); err != nil {
+		fatal(err)
+	}
+	if *layout {
+		printLayout(app, res)
+	}
+	if *stats {
+		s := res.Stats
+		fmt.Printf("call sites instrumented: %d\n", s.Calls)
+		fmt.Printf("instructions inserted:   %d\n", s.InsertedInsts)
+		fmt.Printf("application text:        %d -> %d bytes\n", s.OrigText, s.InstrText)
+		fmt.Printf("analysis image:          %d text + %d data bytes\n", s.AnalysisText, s.AnalysisData)
+		if res.HeapOffset != 0 {
+			fmt.Printf("analysis heap offset:    %#x (run with the same offset)\n", res.HeapOffset)
+		}
+	}
+}
+
+// printLayout renders the paper's Figure 4: the memory organization of
+// the instrumented executable against the uninstrumented one.
+func printLayout(app *aout.File, res *core.Result) {
+	s := res.Stats
+	heap := res.Exe.BssAddr + res.Exe.Bss
+	fmt.Printf("memory layout (Figure 4):\n")
+	fmt.Printf("  %#10x  stack base (grows down)            [unchanged]\n", app.TextAddr)
+	fmt.Printf("  %#10x  instrumented program text  %7d B  [was %d B]\n", app.TextAddr, s.InstrText, s.OrigText)
+	fmt.Printf("  %#10x  analysis text              %7d B\n", s.AnalysisTextAddr, s.AnalysisText)
+	fmt.Printf("  %#10x  analysis data (bss zeroed) %7d B\n", s.AnalysisDataAddr, s.AnalysisData)
+	fmt.Printf("  %#10x  program data               %7d B  [address unchanged]\n", res.Exe.DataAddr, len(res.Exe.Data))
+	fmt.Printf("  %#10x  program bss                %7d B  [address unchanged]\n", res.Exe.BssAddr, res.Exe.Bss)
+	fmt.Printf("  %#10x  heap base (grows up)                [unchanged]\n", heap)
+	if res.HeapOffset != 0 {
+		fmt.Printf("  %#10x  analysis heap zone (+%#x)\n", heap+res.HeapOffset, res.HeapOffset)
+	}
+}
+
+func runTable(which, progList string, verbose bool) {
+	var progress *os.File
+	if verbose {
+		progress = os.Stderr
+	}
+	switch which {
+	case "fig5":
+		var names []string
+		if progList != "" {
+			names = strings.Split(progList, ",")
+		}
+		rows, err := figures.Fig5(names, progress)
+		if err != nil {
+			fatal(err)
+		}
+		figures.PrintFig5(os.Stdout, rows)
+	case "fig6":
+		var names []string
+		if progList != "" {
+			names = strings.Split(progList, ",")
+		}
+		rows, err := figures.Fig6(names, progress)
+		if err != nil {
+			fatal(err)
+		}
+		figures.PrintFig6(os.Stdout, rows)
+	default:
+		fatal(fmt.Errorf("unknown table %q (fig5 or fig6)", which))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "atom:", err)
+	os.Exit(1)
+}

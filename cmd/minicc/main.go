@@ -1,0 +1,65 @@
+// Command minicc compiles MiniC source files to relocatable object
+// modules (or assembly text with -S).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"atom/internal/cc"
+	"atom/internal/rtl"
+)
+
+func main() {
+	var (
+		out     = flag.String("o", "", "output path (default: input with .o)")
+		asmOnly = flag.Bool("S", false, "emit assembly text instead of an object")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minicc [-S] [-o out.o] file.c")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	hdrs, err := rtl.Headers()
+	if err != nil {
+		fatal(err)
+	}
+	if *asmOnly {
+		text, err := cc.Compile(path, string(src), hdrs)
+		if err != nil {
+			fatal(err)
+		}
+		if *out == "" || *out == "-" {
+			fmt.Print(text)
+			return
+		}
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	obj, err := cc.Build(path, string(src), hdrs)
+	if err != nil {
+		fatal(err)
+	}
+	dst := *out
+	if dst == "" {
+		dst = strings.TrimSuffix(filepath.Base(path), ".c") + ".o"
+	}
+	if err := obj.WriteFile(dst); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minicc:", err)
+	os.Exit(1)
+}

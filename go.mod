@@ -1,0 +1,3 @@
+module atom
+
+go 1.22

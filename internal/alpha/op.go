@@ -1,0 +1,239 @@
+package alpha
+
+import "fmt"
+
+// Format identifies one of the Alpha instruction encodings.
+type Format uint8
+
+const (
+	FormatPal     Format = iota // CALL_PAL: opcode + 26-bit function
+	FormatMem                   // memory: ra, disp16(rb)
+	FormatBranch                // branch: ra, disp21 (signed, in words)
+	FormatOperate               // operate: ra, rb|#lit, rc
+	FormatJump                  // jump: ra, (rb), 2-bit function + hint
+)
+
+// Op identifies an instruction mnemonic in the supported subset.
+type Op uint8
+
+// Supported operations.
+const (
+	OpInvalid Op = iota
+
+	// PAL
+	OpCallPal
+
+	// Memory format.
+	OpLda  // ra = rb + sext(disp)
+	OpLdah // ra = rb + sext(disp)<<16
+	OpLdbu // byte load, zero-extend
+	OpLdwu // word (16-bit) load, zero-extend
+	OpStb
+	OpStw
+	OpLdl // longword (32-bit) load, sign-extend
+	OpLdq // quadword (64-bit) load
+	OpStl
+	OpStq
+
+	// Jump format.
+	OpJmp
+	OpJsr
+	OpRet
+
+	// Branch format.
+	OpBr
+	OpBsr
+	OpBlbc // branch if low bit clear
+	OpBeq
+	OpBlt
+	OpBle
+	OpBlbs // branch if low bit set
+	OpBne
+	OpBge
+	OpBgt
+
+	// Operate format: arithmetic (major opcode 0x10).
+	OpAddl
+	OpSubl
+	OpAddq
+	OpSubq
+	OpS4addq
+	OpS8addq
+	OpCmpeq
+	OpCmplt
+	OpCmple
+	OpCmpult
+	OpCmpule
+
+	// Operate format: logical (major opcode 0x11).
+	OpAnd
+	OpBic
+	OpBis
+	OpOrnot
+	OpXor
+	OpEqv
+	OpCmoveq
+	OpCmovne
+
+	// Operate format: shift (major opcode 0x12).
+	OpSll
+	OpSrl
+	OpSra
+
+	// Operate format: multiply (major opcode 0x13).
+	OpMull
+	OpMulq
+	OpUmulh
+
+	opCount
+)
+
+type opInfo struct {
+	name   string
+	format Format
+	opcode uint32 // major opcode, bits 31..26
+	fn     uint32 // function code (operate: bits 11..5; jump: bits 15..14)
+}
+
+var opTable = [opCount]opInfo{
+	OpCallPal: {"call_pal", FormatPal, 0x00, 0},
+
+	OpLda:  {"lda", FormatMem, 0x08, 0},
+	OpLdah: {"ldah", FormatMem, 0x09, 0},
+	OpLdbu: {"ldbu", FormatMem, 0x0A, 0},
+	OpLdwu: {"ldwu", FormatMem, 0x0C, 0},
+	OpStw:  {"stw", FormatMem, 0x0D, 0},
+	OpStb:  {"stb", FormatMem, 0x0E, 0},
+	OpLdl:  {"ldl", FormatMem, 0x28, 0},
+	OpLdq:  {"ldq", FormatMem, 0x29, 0},
+	OpStl:  {"stl", FormatMem, 0x2C, 0},
+	OpStq:  {"stq", FormatMem, 0x2D, 0},
+
+	OpJmp: {"jmp", FormatJump, 0x1A, 0},
+	OpJsr: {"jsr", FormatJump, 0x1A, 1},
+	OpRet: {"ret", FormatJump, 0x1A, 2},
+
+	OpBr:   {"br", FormatBranch, 0x30, 0},
+	OpBsr:  {"bsr", FormatBranch, 0x34, 0},
+	OpBlbc: {"blbc", FormatBranch, 0x38, 0},
+	OpBeq:  {"beq", FormatBranch, 0x39, 0},
+	OpBlt:  {"blt", FormatBranch, 0x3A, 0},
+	OpBle:  {"ble", FormatBranch, 0x3B, 0},
+	OpBlbs: {"blbs", FormatBranch, 0x3C, 0},
+	OpBne:  {"bne", FormatBranch, 0x3D, 0},
+	OpBge:  {"bge", FormatBranch, 0x3E, 0},
+	OpBgt:  {"bgt", FormatBranch, 0x3F, 0},
+
+	OpAddl:   {"addl", FormatOperate, 0x10, 0x00},
+	OpSubl:   {"subl", FormatOperate, 0x10, 0x09},
+	OpAddq:   {"addq", FormatOperate, 0x10, 0x20},
+	OpS4addq: {"s4addq", FormatOperate, 0x10, 0x22},
+	OpSubq:   {"subq", FormatOperate, 0x10, 0x29},
+	OpS8addq: {"s8addq", FormatOperate, 0x10, 0x32},
+	OpCmpult: {"cmpult", FormatOperate, 0x10, 0x1D},
+	OpCmpeq:  {"cmpeq", FormatOperate, 0x10, 0x2D},
+	OpCmpule: {"cmpule", FormatOperate, 0x10, 0x3D},
+	OpCmplt:  {"cmplt", FormatOperate, 0x10, 0x4D},
+	OpCmple:  {"cmple", FormatOperate, 0x10, 0x6D},
+
+	OpAnd:    {"and", FormatOperate, 0x11, 0x00},
+	OpBic:    {"bic", FormatOperate, 0x11, 0x08},
+	OpBis:    {"bis", FormatOperate, 0x11, 0x20},
+	OpCmoveq: {"cmoveq", FormatOperate, 0x11, 0x24},
+	OpCmovne: {"cmovne", FormatOperate, 0x11, 0x26},
+	OpOrnot:  {"ornot", FormatOperate, 0x11, 0x28},
+	OpXor:    {"xor", FormatOperate, 0x11, 0x40},
+	OpEqv:    {"eqv", FormatOperate, 0x11, 0x48},
+
+	OpSrl: {"srl", FormatOperate, 0x12, 0x34},
+	OpSll: {"sll", FormatOperate, 0x12, 0x39},
+	OpSra: {"sra", FormatOperate, 0x12, 0x3C},
+
+	OpMull:  {"mull", FormatOperate, 0x13, 0x00},
+	OpMulq:  {"mulq", FormatOperate, 0x13, 0x20},
+	OpUmulh: {"umulh", FormatOperate, 0x13, 0x30},
+}
+
+// String returns the mnemonic.
+func (op Op) String() string {
+	if op < opCount && opTable[op].name != "" {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("op%d?", uint8(op))
+}
+
+// Format returns the encoding format of the operation.
+func (op Op) Format() Format {
+	if op < opCount {
+		return opTable[op].format
+	}
+	return FormatPal
+}
+
+// OpByName maps a mnemonic to its Op. It returns false for unknown
+// mnemonics (including pseudo-instructions, which the assembler expands).
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, opCount)
+	for op := Op(1); op < opCount; op++ {
+		if n := opTable[op].name; n != "" {
+			m[n] = op
+		}
+	}
+	return m
+}()
+
+// IsCondBranch reports whether op is a conditional branch.
+func (op Op) IsCondBranch() bool {
+	switch op {
+	case OpBlbc, OpBeq, OpBlt, OpBle, OpBlbs, OpBne, OpBge, OpBgt:
+		return true
+	}
+	return false
+}
+
+// IsUncondBranch reports whether op is an unconditional PC-relative branch
+// (br or bsr).
+func (op Op) IsUncondBranch() bool { return op == OpBr || op == OpBsr }
+
+// IsCall reports whether op transfers control to a procedure and writes a
+// return address (bsr or jsr).
+func (op Op) IsCall() bool { return op == OpBsr || op == OpJsr }
+
+// IsLoad reports whether op reads memory into a register.
+func (op Op) IsLoad() bool {
+	switch op {
+	case OpLdbu, OpLdwu, OpLdl, OpLdq:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether op writes a register to memory.
+func (op Op) IsStore() bool {
+	switch op {
+	case OpStb, OpStw, OpStl, OpStq:
+		return true
+	}
+	return false
+}
+
+// MemBytes returns the access width in bytes for load/store operations and
+// zero for everything else.
+func (op Op) MemBytes() int {
+	switch op {
+	case OpLdbu, OpStb:
+		return 1
+	case OpLdwu, OpStw:
+		return 2
+	case OpLdl, OpStl:
+		return 4
+	case OpLdq, OpStq:
+		return 8
+	}
+	return 0
+}

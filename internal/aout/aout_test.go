@@ -1,0 +1,226 @@
+package aout
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleFile() *File {
+	return &File{
+		Text: make([]byte, 16),
+		Data: []byte{1, 2, 3, 4, 5, 6, 7, 8},
+		Bss:  32,
+		Symbols: []Symbol{
+			{Name: "main", Kind: SymFunc, Section: SecText, Value: 0, Size: 8, Global: true},
+			{Name: "helper", Kind: SymFunc, Section: SecText, Value: 8, Global: false},
+			{Name: "counter", Section: SecData, Value: 0, Size: 8, Global: true},
+			{Name: "buf", Section: SecBss, Value: 0, Size: 32},
+			{Name: "printf", Section: SecUndef, Global: true},
+		},
+		Relocs: []Reloc{
+			{Section: SecText, Offset: 0, Type: RelBr21, Sym: 4},
+			{Section: SecText, Offset: 4, Type: RelHi16, Sym: 2},
+			{Section: SecText, Offset: 8, Type: RelLo16, Sym: 2},
+			{Section: SecData, Offset: 0, Type: RelQuad, Sym: 0, Addend: 4},
+		},
+	}
+}
+
+func filesEqual(a, b *File) bool {
+	if a.Linked != b.Linked || a.Entry != b.Entry || a.Bss != b.Bss ||
+		a.TextAddr != b.TextAddr || a.DataAddr != b.DataAddr || a.BssAddr != b.BssAddr ||
+		string(a.Text) != string(b.Text) || string(a.Data) != string(b.Data) ||
+		len(a.Symbols) != len(b.Symbols) || len(a.Relocs) != len(b.Relocs) {
+		return false
+	}
+	for i := range a.Symbols {
+		if a.Symbols[i] != b.Symbols[i] {
+			return false
+		}
+	}
+	for i := range a.Relocs {
+		if a.Relocs[i] != b.Relocs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	f := sampleFile()
+	got, err := Decode(f.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !filesEqual(f, got) {
+		t.Errorf("roundtrip mismatch:\n got %+v\nwant %+v", got, f)
+	}
+}
+
+func TestEncodeDecodeLinked(t *testing.T) {
+	f := sampleFile()
+	f.Linked = true
+	f.Entry = 0x100000
+	f.TextAddr = 0x100000
+	f.DataAddr = 0x400000
+	f.BssAddr = 0x400008
+	got, err := Decode(f.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !filesEqual(f, got) {
+		t.Error("linked roundtrip mismatch")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	enc := sampleFile().Encode()
+	for _, n := range []int{0, 4, 8, 9, 20, len(enc) / 2, len(enc) - 1} {
+		if _, err := Decode(enc[:n]); err == nil {
+			t.Errorf("Decode of %d-byte prefix succeeded; want error", n)
+		}
+	}
+}
+
+func TestDecodeTrailingGarbage(t *testing.T) {
+	enc := append(sampleFile().Encode(), 0xFF)
+	if _, err := Decode(enc); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Errorf("Decode with trailing byte: err=%v, want trailing-bytes error", err)
+	}
+}
+
+func TestDecodeBadMagic(t *testing.T) {
+	enc := sampleFile().Encode()
+	enc[0] = 'X'
+	if _, err := Decode(enc); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("Decode with bad magic: err=%v", err)
+	}
+}
+
+func TestValidateCatchesBadRelocs(t *testing.T) {
+	f := sampleFile()
+	f.Relocs[0].Sym = 99
+	if err := f.Validate(); err == nil {
+		t.Error("Validate accepted out-of-range symbol index")
+	}
+	f = sampleFile()
+	f.Relocs[0].Offset = uint64(len(f.Text))
+	if err := f.Validate(); err == nil {
+		t.Error("Validate accepted reloc beyond section end")
+	}
+	f = sampleFile()
+	f.Relocs[0].Section = SecBss
+	if err := f.Validate(); err == nil {
+		t.Error("Validate accepted reloc in bss")
+	}
+	f = sampleFile()
+	f.Text = append(f.Text, 0)
+	if err := f.Validate(); err == nil {
+		t.Error("Validate accepted misaligned text size")
+	}
+}
+
+func TestSymbolLookup(t *testing.T) {
+	f := sampleFile()
+	s, ok := f.Lookup("counter")
+	if !ok || s.Section != SecData {
+		t.Errorf("Lookup(counter) = %+v, %v", s, ok)
+	}
+	if _, ok := f.Lookup("absent"); ok {
+		t.Error("Lookup(absent) succeeded")
+	}
+	// Global beats local on name collision.
+	f.Symbols = append(f.Symbols, Symbol{Name: "dup", Section: SecText, Value: 4})
+	f.Symbols = append(f.Symbols, Symbol{Name: "dup", Section: SecData, Value: 0, Global: true})
+	s, _ = f.Lookup("dup")
+	if !s.Global {
+		t.Error("Lookup preferred local symbol over global")
+	}
+}
+
+func TestFuncsSizesAndOrder(t *testing.T) {
+	f := sampleFile()
+	fns := f.Funcs()
+	if len(fns) != 2 {
+		t.Fatalf("Funcs() returned %d, want 2", len(fns))
+	}
+	if fns[0].Name != "main" || fns[1].Name != "helper" {
+		t.Errorf("Funcs order = %s, %s", fns[0].Name, fns[1].Name)
+	}
+	if fns[1].Size != 8 { // inferred: text end (16) - start (8)
+		t.Errorf("helper inferred size = %d, want 8", fns[1].Size)
+	}
+}
+
+func TestReadWriteFile(t *testing.T) {
+	path := t.TempDir() + "/x.o"
+	f := sampleFile()
+	if err := f.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !filesEqual(f, got) {
+		t.Error("file roundtrip mismatch")
+	}
+	if _, err := ReadFile(path + ".missing"); err == nil {
+		t.Error("ReadFile of missing path succeeded")
+	}
+}
+
+// TestRoundtripQuick fuzzes structurally valid files through the codec.
+func TestRoundtripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		file := &File{
+			Text: make([]byte, 4*r.Intn(16)),
+			Data: make([]byte, r.Intn(64)),
+			Bss:  uint64(r.Intn(128)),
+		}
+		r.Read(file.Text)
+		r.Read(file.Data)
+		nsym := r.Intn(8)
+		for i := 0; i < nsym; i++ {
+			file.Symbols = append(file.Symbols, Symbol{
+				Name:    string(rune('a' + i)),
+				Kind:    SymKind(r.Intn(2)),
+				Section: SecAbs,
+				Value:   r.Uint64(),
+				Size:    r.Uint64(),
+				Global:  r.Intn(2) == 0,
+			})
+		}
+		got, err := Decode(file.Encode())
+		if err != nil {
+			t.Logf("Decode: %v", err)
+			return false
+		}
+		return filesEqual(file, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeRandomGarbage ensures the decoder never panics on noise.
+func TestDecodeRandomGarbage(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	enc := sampleFile().Encode()
+	for i := 0; i < 500; i++ {
+		b := make([]byte, len(enc))
+		copy(b, enc)
+		for j := 0; j < 4; j++ {
+			b[r.Intn(len(b))] ^= byte(1 << r.Intn(8))
+		}
+		Decode(b) // must not panic; error or success both fine
+	}
+	for i := 0; i < 200; i++ {
+		b := make([]byte, r.Intn(64))
+		r.Read(b)
+		Decode(b)
+	}
+}

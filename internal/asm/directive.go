@@ -1,0 +1,304 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"atom/internal/aout"
+)
+
+func (a *assembler) directive(op, rest string) error {
+	args := splitOperands(rest)
+	switch op {
+	case ".text":
+		a.section = aout.SecText
+	case ".data":
+		a.section = aout.SecData
+	case ".bss":
+		a.section = aout.SecBss
+	case ".globl", ".global":
+		if len(args) == 0 {
+			return a.errf("%s needs a symbol", op)
+		}
+		for _, n := range args {
+			if !isIdent(n) {
+				return a.errf("%s: bad symbol %q", op, n)
+			}
+			a.sym(n).global = true
+		}
+	case ".ent":
+		if len(args) != 1 || !isIdent(args[0]) {
+			return a.errf(".ent needs one symbol")
+		}
+		if a.pendEnt != "" {
+			return a.errf(".ent %s while %s is open", args[0], a.pendEnt)
+		}
+		a.pendEnt = args[0]
+		a.sym(args[0]).isFunc = true
+	case ".end":
+		if len(args) != 1 || args[0] != a.pendEnt {
+			return a.errf(".end %s does not match .ent %s", strings.Join(args, ","), a.pendEnt)
+		}
+		s := a.sym(a.pendEnt)
+		if a.pass == 1 {
+			if !s.defined || s.section != aout.SecText {
+				return a.errf(".end %s: procedure label not defined in .text", a.pendEnt)
+			}
+			s.size = a.loc() - s.offset
+		}
+		a.pendEnt = ""
+	case ".byte":
+		return a.emitInts(args, 1)
+	case ".word":
+		return a.emitInts(args, 2)
+	case ".long":
+		return a.emitInts(args, 4)
+	case ".quad":
+		return a.emitInts(args, 8)
+	case ".ascii", ".asciiz":
+		if a.section != aout.SecData {
+			return a.errf("%s outside .data", op)
+		}
+		for _, arg := range args {
+			b, err := parseString(arg)
+			if err != nil {
+				return a.errf("%s: %v", op, err)
+			}
+			if op == ".asciiz" {
+				b = append(b, 0)
+			}
+			a.emitBytes(b)
+		}
+	case ".space":
+		if len(args) < 1 || len(args) > 2 {
+			return a.errf(".space needs size [, fill]")
+		}
+		n, err := parseInt(args[0])
+		if err != nil || n < 0 {
+			return a.errf(".space: bad size %q", args[0])
+		}
+		fill := int64(0)
+		if len(args) == 2 {
+			if fill, err = parseInt(args[1]); err != nil {
+				return a.errf(".space: bad fill %q", args[1])
+			}
+		}
+		if a.section == aout.SecBss {
+			if fill != 0 {
+				return a.errf(".space with fill in .bss")
+			}
+			a.bss += uint64(n)
+		} else if a.section == aout.SecData {
+			b := make([]byte, n)
+			for i := range b {
+				b[i] = byte(fill)
+			}
+			a.emitBytes(b)
+		} else {
+			return a.errf(".space in .text")
+		}
+	case ".align":
+		if len(args) != 1 {
+			return a.errf(".align needs a power-of-two exponent")
+		}
+		p, err := parseInt(args[0])
+		if err != nil || p < 0 || p > 16 {
+			return a.errf(".align: bad exponent %q", args[0])
+		}
+		size := uint64(1) << uint(p)
+		for a.loc()%size != 0 {
+			if a.section == aout.SecBss {
+				a.bss++
+			} else if a.section == aout.SecData {
+				a.emitBytes([]byte{0})
+			} else {
+				return a.errf(".align in .text unsupported")
+			}
+		}
+	case ".comm", ".lcomm":
+		if len(args) != 2 || !isIdent(args[0]) {
+			return a.errf("%s needs symbol, size", op)
+		}
+		n, err := parseInt(args[1])
+		if err != nil || n < 0 {
+			return a.errf("%s: bad size %q", op, args[1])
+		}
+		s := a.sym(args[0])
+		if op == ".comm" {
+			s.global = true
+		}
+		if a.pass == 1 {
+			if s.defined {
+				return a.errf("symbol %q redefined", args[0])
+			}
+			a.bss = (a.bss + 7) &^ 7
+			s.defined = true
+			s.section = aout.SecBss
+			s.offset = a.bss
+			s.size = uint64(n)
+			a.bss += uint64(n)
+		} else {
+			a.bss = (a.bss + 7) &^ 7
+			a.bss += uint64(n)
+		}
+	default:
+		return a.errf("unknown directive %s", op)
+	}
+	return nil
+}
+
+// emitInts emits integer data of the given width; .quad and .long values
+// may be symbol references (emitting RelQuad/RelLong relocations).
+func (a *assembler) emitInts(args []string, width int) error {
+	if a.section != aout.SecData {
+		return a.errf("data directive outside .data")
+	}
+	if len(args) == 0 {
+		return a.errf("data directive needs at least one value")
+	}
+	for _, arg := range args {
+		if v, err := parseInt(arg); err == nil {
+			if width < 8 {
+				limit := int64(1) << uint(width*8)
+				if v >= limit || v < -limit/2 {
+					return a.errf("value %s does not fit %d bytes", arg, width)
+				}
+			}
+			var b [8]byte
+			for i := 0; i < width; i++ {
+				b[i] = byte(v >> (8 * i))
+			}
+			a.emitBytes(b[:width])
+			continue
+		}
+		// Symbolic reference.
+		name, addend, err := parseSymRef(arg)
+		if err != nil {
+			return a.errf("bad value %q: %v", arg, err)
+		}
+		if width != 8 && width != 4 {
+			return a.errf("symbol reference %q needs .quad or .long", arg)
+		}
+		rt := aout.RelQuad
+		if width == 4 {
+			rt = aout.RelLong
+		}
+		a.addReloc(aout.SecData, a.loc(), rt, name, addend)
+		a.emitBytes(make([]byte, width))
+	}
+	return nil
+}
+
+func (a *assembler) emitBytes(b []byte) {
+	if a.section == aout.SecData {
+		a.data = append(a.data, b...)
+	} else {
+		a.text = append(a.text, b...)
+	}
+}
+
+// addReloc records a relocation in pass 2; pass 1 only needs sizes.
+func (a *assembler) addReloc(sec aout.Section, off uint64, t aout.RelocType, sym string, addend int64) {
+	if a.pass != 2 {
+		return
+	}
+	a.file.Relocs = append(a.file.Relocs, aout.Reloc{Section: sec, Offset: off, Type: t, Addend: addend})
+	a.relocSyms = append(a.relocSyms, a.sym(sym))
+}
+
+// parseInt parses a numeric literal: decimal, 0x hex, 0o octal, 0b binary,
+// optionally negated, or a character literal.
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if len(s) >= 2 && s[0] == '\'' {
+		b, err := parseString("\"" + strings.Trim(s, "'") + "\"")
+		if err != nil || len(b) != 1 {
+			return 0, fmt.Errorf("bad char literal %q", s)
+		}
+		return int64(b[0]), nil
+	}
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	} else {
+		s = strings.TrimPrefix(s, "+")
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(s), 0, 64)
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+// parseSymRef parses "sym", "sym+imm" or "sym-imm".
+func parseSymRef(s string) (name string, addend int64, err error) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexAny(s, "+-")
+	if i <= 0 {
+		if !isIdent(s) {
+			return "", 0, fmt.Errorf("not a symbol: %q", s)
+		}
+		return s, 0, nil
+	}
+	name = strings.TrimSpace(s[:i])
+	if !isIdent(name) {
+		return "", 0, fmt.Errorf("not a symbol: %q", name)
+	}
+	addend, err = parseInt(s[i:])
+	return name, addend, err
+}
+
+// parseString parses a double-quoted string with C escapes.
+func parseString(s string) ([]byte, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return nil, fmt.Errorf("not a string literal: %q", s)
+	}
+	body := s[1 : len(s)-1]
+	var out []byte
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			out = append(out, c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return nil, fmt.Errorf("trailing backslash in %q", s)
+		}
+		switch body[i] {
+		case 'n':
+			out = append(out, '\n')
+		case 't':
+			out = append(out, '\t')
+		case 'r':
+			out = append(out, '\r')
+		case '0':
+			out = append(out, 0)
+		case '\\':
+			out = append(out, '\\')
+		case '"':
+			out = append(out, '"')
+		case '\'':
+			out = append(out, '\'')
+		case 'x':
+			if i+2 >= len(body) {
+				return nil, fmt.Errorf("bad \\x escape in %q", s)
+			}
+			v, err := strconv.ParseUint(body[i+1:i+3], 16, 8)
+			if err != nil {
+				return nil, fmt.Errorf("bad \\x escape in %q", s)
+			}
+			out = append(out, byte(v))
+			i += 2
+		default:
+			return nil, fmt.Errorf("unknown escape \\%c", body[i])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,134 @@
+package cc
+
+// AST node definitions. The parser produces these; the checker annotates
+// expressions with types and resolves names; the code generator walks
+// them to emit assembly.
+
+// Program is a parsed translation unit.
+type Program struct {
+	Decls []*Decl // globals and functions, in source order
+}
+
+// DeclKind distinguishes top-level declarations.
+type DeclKind int
+
+const (
+	DeclVar  DeclKind = iota // global variable (possibly extern)
+	DeclFunc                 // function definition or prototype
+)
+
+// Decl is a top-level declaration.
+type Decl struct {
+	Kind   DeclKind
+	Name   string
+	Type   *Type
+	Line   int
+	Extern bool // declared extern, or a prototype without a body
+	Static bool // file-local
+
+	// DeclVar: optional initializer (checked to be constant).
+	Init *Expr
+
+	// DeclFunc with body.
+	Params []string // parameter names, parallel to Type.Params
+	Body   *Stmt    // nil for prototypes
+	// Filled by the checker:
+	Locals []*Local
+}
+
+// Local is a function-scope variable (including parameters).
+type Local struct {
+	Name   string
+	Type   *Type
+	Offset int64 // frame offset, assigned by codegen
+	IsParm bool
+	Index  int // parameter index if IsParm
+}
+
+// StmtKind enumerates statements.
+type StmtKind int
+
+const (
+	StmtExpr StmtKind = iota
+	StmtDecl
+	StmtIf
+	StmtWhile
+	StmtDoWhile
+	StmtFor
+	StmtReturn
+	StmtBreak
+	StmtContinue
+	StmtBlock
+	StmtSwitch
+	StmtCase // case/default label inside a switch body
+	StmtEmpty
+)
+
+// Stmt is one statement.
+type Stmt struct {
+	Kind StmtKind
+	Line int
+
+	// Transparent marks a block that groups statements without opening a
+	// new scope (a multi-variable declaration like `long a, b;`).
+	Transparent bool
+
+	Expr *Expr   // Expr, Return (may be nil), If/While/DoWhile/Switch condition
+	Init *Stmt   // For initializer (Expr or Decl statement)
+	Post *Expr   // For post-expression
+	Body *Stmt   // If-then, loop body, Switch body
+	Else *Stmt   // If-else
+	List []*Stmt // Block
+
+	// Decl.
+	Decl     *Local
+	DeclInit *Expr
+
+	// Case.
+	CaseVal   int64
+	IsDefault bool
+}
+
+// ExprKind enumerates expressions.
+type ExprKind int
+
+const (
+	ExprNum ExprKind = iota
+	ExprString
+	ExprIdent
+	ExprUnary   // - ! ~ * & ++x --x
+	ExprPostfix // x++ x--
+	ExprBinary  // arithmetic, comparison, logical, assignment
+	ExprCond    // ?:
+	ExprCall
+	ExprIndex  // a[i]
+	ExprMember // s.f or p->f
+	ExprSizeof
+	ExprCast
+	ExprArg      // __arg(i): i-th incoming vararg as long
+	ExprVa       // __va(): pointer to the incoming argument save area
+	ExprInitList // {a, b, c} — global initializers only
+)
+
+// Expr is one expression. Type is filled by the checker.
+type Expr struct {
+	Kind ExprKind
+	Line int
+	Type *Type
+
+	Op    string // Unary/Postfix/Binary operator text ("+", "+=", "&&", ...)
+	X, Y  *Expr  // operands (Cond: X ? Y : Z with Z in Else)
+	Else  *Expr
+	Num   int64
+	Str   []byte
+	Name  string // Ident, Member field name
+	Args  []*Expr
+	Arrow bool // Member: -> rather than .
+
+	// Checker annotations.
+	Folded *constVal // folded value, for global initializers
+	Local  *Local    // resolved local, if Ident refers to one
+	Global *Decl     // resolved global or function
+	CastTo *Type     // Cast, Sizeof-of-type
+	Field  Field     // resolved member
+}

@@ -1,0 +1,62 @@
+// Package cc implements a compiler for MiniC, the C subset in which this
+// reproduction writes application programs and ATOM analysis routines.
+//
+// The paper's tools are ordinary C code (Figures 2 and 3); analysis
+// routines must become real machine code linked into the instrumented
+// executable, sharing nothing with the application. MiniC is rich enough
+// to port that code nearly verbatim:
+//
+//   - types: char (unsigned byte), int/long (64-bit signed), pointers,
+//     arrays, structs; sizeof; casts
+//   - control flow: if/else, while, do-while, for, switch, break,
+//     continue, return
+//   - expressions: the full C operator set minus the comma operator;
+//     ++/-- in both positions; short-circuit && and ||; ?:
+//   - functions with up to six register arguments plus stack arguments,
+//     variadic functions (printf) via a register-save area and the
+//     __arg(i) intrinsic
+//   - globals with constant initializers (including brace lists, string
+//     literals, and addresses of globals); extern and static linkage
+//   - a miniature preprocessor: #include of caller-supplied headers and
+//     object-like #define macros
+//
+// Deviations from C are deliberate simplifications of the substrate, not
+// of ATOM: int is 64-bit, char is unsigned, there is no floating point,
+// and function pointers are rejected. Division and modulo compile to
+// calls to __divq/__remq (the Alpha has no integer divide instruction).
+//
+// Compile produces assembly text for internal/asm; Build goes all the
+// way to a relocatable aout object module.
+package cc
+
+import (
+	"atom/internal/aout"
+	"atom/internal/asm"
+)
+
+// Compile translates MiniC source to assembly text. name is used in
+// diagnostics; include maps header names (as written in #include) to
+// their contents.
+func Compile(name, src string, include map[string]string) (string, error) {
+	toks, err := lex(name, src, include)
+	if err != nil {
+		return "", err
+	}
+	prog, err := parse(name, toks)
+	if err != nil {
+		return "", err
+	}
+	if err := check(name, prog); err != nil {
+		return "", err
+	}
+	return generate(prog)
+}
+
+// Build compiles MiniC source into a relocatable object module.
+func Build(name, src string, include map[string]string) (*aout.File, error) {
+	asmText, err := Compile(name, src, include)
+	if err != nil {
+		return nil, err
+	}
+	return asm.Assemble(name, asmText)
+}

@@ -1,0 +1,286 @@
+package cc
+
+import "fmt"
+
+// checker performs name resolution and type checking, annotating the AST
+// in place.
+type checker struct {
+	name     string
+	globals  map[string]*Decl // variables and functions by name
+	fn       *Decl            // function being checked
+	scopes   []map[string]*Local
+	loops    int
+	switches int
+}
+
+func check(name string, prog *Program) error {
+	c := &checker{name: name, globals: map[string]*Decl{}}
+	// Register globals first so forward references work.
+	for _, d := range prog.Decls {
+		if err := c.declare(d); err != nil {
+			return err
+		}
+	}
+	// A merged prototype aliases its definition (same Body and Init), so
+	// the same function can appear several times in Decls; check each
+	// name once, or the second pass would re-annotate the shared AST
+	// with fresh Local objects and orphan the first pass's.
+	seen := map[string]bool{}
+	for _, d := range prog.Decls {
+		if seen[d.Name] {
+			continue
+		}
+		seen[d.Name] = true
+		if d.Kind == DeclFunc && d.Body != nil {
+			if err := c.checkFunc(d); err != nil {
+				return err
+			}
+		}
+		if d.Kind == DeclVar && d.Init != nil {
+			if err := c.checkGlobalInit(d); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (c *checker) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", c.name, line, fmt.Sprintf(format, args...))
+}
+
+// declare registers a top-level declaration, merging prototypes.
+func (c *checker) declare(d *Decl) error {
+	prev, ok := c.globals[d.Name]
+	if !ok {
+		if d.Kind == DeclVar {
+			if d.Type.Kind == TypeVoid {
+				return c.errf(d.Line, "variable %q has void type", d.Name)
+			}
+			if d.Type.Size() <= 0 {
+				return c.errf(d.Line, "variable %q has incomplete type %s", d.Name, d.Type)
+			}
+		}
+		c.globals[d.Name] = d
+		return nil
+	}
+	if prev.Kind != d.Kind || !prev.Type.Same(d.Type) {
+		return c.errf(d.Line, "conflicting declarations of %q (%s vs %s)", d.Name, prev.Type, d.Type)
+	}
+	switch {
+	case d.Kind == DeclFunc && d.Body != nil:
+		if prev.Body != nil {
+			return c.errf(d.Line, "function %q redefined", d.Name)
+		}
+		// The definition supersedes the prototype.
+		*prev = *d
+	case d.Kind == DeclVar && !d.Extern:
+		if !prev.Extern {
+			return c.errf(d.Line, "variable %q redefined", d.Name)
+		}
+		*prev = *d
+	}
+	return nil
+}
+
+func (c *checker) checkFunc(d *Decl) error {
+	c.fn = d
+	c.scopes = []map[string]*Local{{}}
+	d.Locals = nil
+	for i, pname := range d.Params {
+		pt := d.Type.Params[i]
+		if !pt.IsScalar() {
+			return c.errf(d.Line, "parameter %q: only scalar parameters are supported (got %s)", pname, pt)
+		}
+		l := &Local{Name: pname, Type: pt, IsParm: true, Index: i}
+		d.Locals = append(d.Locals, l)
+		if _, dup := c.scopes[0][pname]; dup {
+			return c.errf(d.Line, "duplicate parameter %q", pname)
+		}
+		c.scopes[0][pname] = l
+	}
+	err := c.stmt(d.Body)
+	c.fn = nil
+	c.scopes = nil
+	return err
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]*Local{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) lookupLocal(name string) *Local {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if l, ok := c.scopes[i][name]; ok {
+			return l
+		}
+	}
+	return nil
+}
+
+func (c *checker) stmt(s *Stmt) error {
+	switch s.Kind {
+	case StmtEmpty:
+		return nil
+	case StmtExpr:
+		_, err := c.expr(s.Expr, true)
+		return err
+	case StmtDecl:
+		if s.Decl.Type.Kind == TypeVoid {
+			return c.errf(s.Line, "variable %q has void type", s.Decl.Name)
+		}
+		if s.Decl.Type.Size() <= 0 {
+			return c.errf(s.Line, "variable %q has incomplete type %s", s.Decl.Name, s.Decl.Type)
+		}
+		if s.DeclInit != nil {
+			t, err := c.expr(s.DeclInit, false)
+			if err != nil {
+				return err
+			}
+			if err := c.assignable(s.Line, s.Decl.Type, t, s.DeclInit); err != nil {
+				return err
+			}
+		}
+		scope := c.scopes[len(c.scopes)-1]
+		if _, dup := scope[s.Decl.Name]; dup {
+			return c.errf(s.Line, "variable %q redeclared in this scope", s.Decl.Name)
+		}
+		scope[s.Decl.Name] = s.Decl
+		c.fn.Locals = append(c.fn.Locals, s.Decl)
+		return nil
+	case StmtBlock:
+		if !s.Transparent {
+			c.push()
+			defer c.pop()
+		}
+		for _, st := range s.List {
+			if err := c.stmt(st); err != nil {
+				return err
+			}
+		}
+		return nil
+	case StmtIf:
+		if err := c.scalarCond(s.Expr); err != nil {
+			return err
+		}
+		if err := c.stmt(s.Body); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.stmt(s.Else)
+		}
+		return nil
+	case StmtWhile, StmtDoWhile:
+		if err := c.scalarCond(s.Expr); err != nil {
+			return err
+		}
+		c.loops++
+		err := c.stmt(s.Body)
+		c.loops--
+		return err
+	case StmtFor:
+		c.push()
+		defer c.pop()
+		if s.Init != nil {
+			if err := c.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.Expr != nil {
+			if err := c.scalarCond(s.Expr); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if _, err := c.expr(s.Post, true); err != nil {
+				return err
+			}
+		}
+		c.loops++
+		err := c.stmt(s.Body)
+		c.loops--
+		return err
+	case StmtReturn:
+		ret := c.fn.Type.Ret
+		if s.Expr == nil {
+			if ret.Kind != TypeVoid {
+				return c.errf(s.Line, "return without value in %q returning %s", c.fn.Name, ret)
+			}
+			return nil
+		}
+		if ret.Kind == TypeVoid {
+			return c.errf(s.Line, "return with value in void function %q", c.fn.Name)
+		}
+		t, err := c.expr(s.Expr, false)
+		if err != nil {
+			return err
+		}
+		return c.assignable(s.Line, ret, t, s.Expr)
+	case StmtBreak:
+		if c.loops == 0 && c.switches == 0 {
+			return c.errf(s.Line, "break outside loop or switch")
+		}
+		return nil
+	case StmtContinue:
+		if c.loops == 0 {
+			return c.errf(s.Line, "continue outside loop")
+		}
+		return nil
+	case StmtSwitch:
+		if err := c.scalarCond(s.Expr); err != nil {
+			return err
+		}
+		c.switches++
+		err := c.stmt(s.Body)
+		c.switches--
+		return err
+	case StmtCase:
+		if c.switches == 0 {
+			return c.errf(s.Line, "case label outside switch")
+		}
+		return nil
+	}
+	return c.errf(s.Line, "unhandled statement kind %d", s.Kind)
+}
+
+func (c *checker) scalarCond(e *Expr) error {
+	t, err := c.expr(e, false)
+	if err != nil {
+		return err
+	}
+	if !t.Decays().IsScalar() {
+		return c.errf(e.Line, "condition has non-scalar type %s", t)
+	}
+	return nil
+}
+
+// assignable checks that a value of type src (from expression y) can be
+// assigned to dst.
+func (c *checker) assignable(line int, dst, src *Type, y *Expr) error {
+	src = src.Decays()
+	switch {
+	case dst.IsInteger() && src.IsInteger():
+		return nil
+	case dst.Kind == TypePtr && src.Kind == TypePtr:
+		return nil // loose K&R-style pointer compatibility
+	case dst.Kind == TypePtr && src.IsInteger():
+		if y != nil && y.Kind == ExprNum && y.Num == 0 {
+			return nil // null pointer constant
+		}
+		return c.errf(line, "assigning integer to pointer %s requires a cast", dst)
+	case dst.IsInteger() && src.Kind == TypePtr:
+		return c.errf(line, "assigning pointer %s to integer requires a cast", src)
+	}
+	return c.errf(line, "cannot assign %s to %s", src, dst)
+}
+
+func isLvalue(e *Expr) bool {
+	switch e.Kind {
+	case ExprIdent:
+		return e.Global == nil || e.Global.Kind == DeclVar
+	case ExprIndex, ExprMember:
+		return true
+	case ExprUnary:
+		return e.Op == "*"
+	}
+	return false
+}

@@ -1,0 +1,519 @@
+package cc
+
+import "fmt"
+
+// expr type-checks an expression, annotating e.Type and name-resolution
+// fields. stmtCtx permits void-valued expressions (calls in statement
+// position).
+func (c *checker) expr(e *Expr, stmtCtx bool) (*Type, error) {
+	t, err := c.exprInner(e, stmtCtx)
+	if err != nil {
+		return nil, err
+	}
+	e.Type = t
+	return t, nil
+}
+
+func (c *checker) exprInner(e *Expr, stmtCtx bool) (*Type, error) {
+	switch e.Kind {
+	case ExprNum:
+		return typeLong, nil
+
+	case ExprString:
+		return ptrTo(typeChar), nil
+
+	case ExprIdent:
+		if l := c.lookupLocal(e.Name); l != nil {
+			e.Local = l
+			return l.Type, nil
+		}
+		if g, ok := c.globals[e.Name]; ok {
+			e.Global = g
+			return g.Type, nil
+		}
+		return nil, c.errf(e.Line, "undeclared identifier %q", e.Name)
+
+	case ExprVa:
+		if c.fn == nil || !c.fn.Type.Variadic {
+			return nil, c.errf(e.Line, "__va used outside a variadic function")
+		}
+		return ptrTo(typeLong), nil
+
+	case ExprArg:
+		if c.fn == nil || !c.fn.Type.Variadic {
+			return nil, c.errf(e.Line, "__arg used outside a variadic function")
+		}
+		it, err := c.expr(e.X, false)
+		if err != nil {
+			return nil, err
+		}
+		if !it.IsInteger() {
+			return nil, c.errf(e.Line, "__arg index must be an integer")
+		}
+		return typeLong, nil
+
+	case ExprUnary:
+		xt, err := c.expr(e.X, false)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "-", "~":
+			if !xt.IsInteger() {
+				return nil, c.errf(e.Line, "unary %s on non-integer %s", e.Op, xt)
+			}
+			return typeLong, nil
+		case "!":
+			if !xt.Decays().IsScalar() {
+				return nil, c.errf(e.Line, "! on non-scalar %s", xt)
+			}
+			return typeLong, nil
+		case "*":
+			dt := xt.Decays()
+			if dt.Kind != TypePtr {
+				return nil, c.errf(e.Line, "dereferencing non-pointer %s", xt)
+			}
+			if dt.Elem.Kind == TypeVoid {
+				return nil, c.errf(e.Line, "dereferencing void pointer")
+			}
+			return dt.Elem, nil
+		case "&":
+			if !isLvalue(e.X) {
+				// &func yields the function's address; everything else
+				// must be an lvalue.
+				if e.X.Kind == ExprIdent && e.X.Global != nil && e.X.Global.Kind == DeclFunc {
+					return nil, c.errf(e.Line, "function pointers are not supported")
+				}
+				return nil, c.errf(e.Line, "& of non-lvalue")
+			}
+			return ptrTo(xt), nil
+		case "++", "--":
+			return c.incDec(e, xt)
+		}
+		return nil, c.errf(e.Line, "unhandled unary %q", e.Op)
+
+	case ExprPostfix:
+		xt, err := c.expr(e.X, false)
+		if err != nil {
+			return nil, err
+		}
+		return c.incDec(e, xt)
+
+	case ExprBinary:
+		return c.binary(e, stmtCtx)
+
+	case ExprCond:
+		if err := c.scalarCond(e.X); err != nil {
+			return nil, err
+		}
+		yt, err := c.expr(e.Y, false)
+		if err != nil {
+			return nil, err
+		}
+		zt, err := c.expr(e.Else, false)
+		if err != nil {
+			return nil, err
+		}
+		yd, zd := yt.Decays(), zt.Decays()
+		switch {
+		case yd.IsInteger() && zd.IsInteger():
+			return typeLong, nil
+		case yd.Kind == TypePtr && zd.Kind == TypePtr:
+			return yd, nil
+		case yd.Kind == TypePtr && zd.IsInteger(), yd.IsInteger() && zd.Kind == TypePtr:
+			return yd, nil // null-ish mixing; keep the pointer type
+		}
+		return nil, c.errf(e.Line, "?: arms have incompatible types %s and %s", yt, zt)
+
+	case ExprCall:
+		return c.call(e, stmtCtx)
+
+	case ExprIndex:
+		xt, err := c.expr(e.X, false)
+		if err != nil {
+			return nil, err
+		}
+		it, err := c.expr(e.Y, false)
+		if err != nil {
+			return nil, err
+		}
+		dt := xt.Decays()
+		if dt.Kind != TypePtr {
+			return nil, c.errf(e.Line, "indexing non-array %s", xt)
+		}
+		if !it.IsInteger() {
+			return nil, c.errf(e.Line, "array index has type %s", it)
+		}
+		return dt.Elem, nil
+
+	case ExprMember:
+		xt, err := c.expr(e.X, false)
+		if err != nil {
+			return nil, err
+		}
+		st := xt
+		if e.Arrow {
+			dt := xt.Decays()
+			if dt.Kind != TypePtr {
+				return nil, c.errf(e.Line, "-> on non-pointer %s", xt)
+			}
+			st = dt.Elem
+		}
+		if st.Kind != TypeStruct {
+			return nil, c.errf(e.Line, "member access on non-struct %s", st)
+		}
+		f, ok := st.Field(e.Name)
+		if !ok {
+			return nil, c.errf(e.Line, "struct %s has no field %q", st.StructName, e.Name)
+		}
+		e.Field = f
+		return f.Type, nil
+
+	case ExprSizeof:
+		t := e.CastTo
+		if t == nil {
+			xt, err := c.expr(e.X, false)
+			if err != nil {
+				return nil, err
+			}
+			t = xt
+		}
+		if t.Size() <= 0 {
+			return nil, c.errf(e.Line, "sizeof incomplete type %s", t)
+		}
+		e.Num = t.Size()
+		return typeLong, nil
+
+	case ExprCast:
+		xt, err := c.expr(e.X, false)
+		if err != nil {
+			return nil, err
+		}
+		to := e.CastTo
+		if !to.IsScalar() && to.Kind != TypeVoid {
+			return nil, c.errf(e.Line, "cast to non-scalar %s", to)
+		}
+		if !xt.Decays().IsScalar() {
+			return nil, c.errf(e.Line, "cast of non-scalar %s", xt)
+		}
+		return to, nil
+
+	case ExprInitList:
+		return nil, c.errf(e.Line, "initializer list is only allowed in global initializers")
+	}
+	return nil, c.errf(e.Line, "unhandled expression kind %d", e.Kind)
+}
+
+func (c *checker) incDec(e *Expr, xt *Type) (*Type, error) {
+	if !isLvalue(e.X) {
+		return nil, c.errf(e.Line, "%s needs an lvalue", e.Op)
+	}
+	if !xt.IsScalar() {
+		return nil, c.errf(e.Line, "%s on non-scalar %s", e.Op, xt)
+	}
+	return xt, nil
+}
+
+func (c *checker) binary(e *Expr, stmtCtx bool) (*Type, error) {
+	if assignOps[e.Op] {
+		xt, err := c.expr(e.X, false)
+		if err != nil {
+			return nil, err
+		}
+		if !isLvalue(e.X) {
+			return nil, c.errf(e.Line, "assignment to non-lvalue")
+		}
+		if xt.Kind == TypeArray || xt.Kind == TypeStruct {
+			return nil, c.errf(e.Line, "cannot assign to %s", xt)
+		}
+		yt, err := c.expr(e.Y, false)
+		if err != nil {
+			return nil, err
+		}
+		if e.Op == "=" {
+			if err := c.assignable(e.Line, xt, yt, e.Y); err != nil {
+				return nil, err
+			}
+			return xt, nil
+		}
+		// Compound assignment: pointer += / -= integer, or integer op.
+		base := e.Op[:len(e.Op)-1]
+		if xt.Kind == TypePtr {
+			if (base != "+" && base != "-") || !yt.Decays().IsInteger() {
+				return nil, c.errf(e.Line, "invalid %s on pointer", e.Op)
+			}
+			return xt, nil
+		}
+		if !xt.IsInteger() || !yt.Decays().IsInteger() {
+			return nil, c.errf(e.Line, "invalid %s on %s and %s", e.Op, xt, yt)
+		}
+		return xt, nil
+	}
+
+	xt, err := c.expr(e.X, false)
+	if err != nil {
+		return nil, err
+	}
+	yt, err := c.expr(e.Y, false)
+	if err != nil {
+		return nil, err
+	}
+	xd, yd := xt.Decays(), yt.Decays()
+	switch e.Op {
+	case "&&", "||":
+		if !xd.IsScalar() || !yd.IsScalar() {
+			return nil, c.errf(e.Line, "logical %s on non-scalars", e.Op)
+		}
+		return typeLong, nil
+	case "==", "!=", "<", "<=", ">", ">=":
+		switch {
+		case xd.IsInteger() && yd.IsInteger():
+		case xd.Kind == TypePtr && yd.Kind == TypePtr:
+		case xd.Kind == TypePtr && e.Y.Kind == ExprNum && e.Y.Num == 0:
+		case yd.Kind == TypePtr && e.X.Kind == ExprNum && e.X.Num == 0:
+		default:
+			return nil, c.errf(e.Line, "comparison of %s and %s", xt, yt)
+		}
+		return typeLong, nil
+	case "+":
+		switch {
+		case xd.IsInteger() && yd.IsInteger():
+			return typeLong, nil
+		case xd.Kind == TypePtr && yd.IsInteger():
+			return xd, nil
+		case xd.IsInteger() && yd.Kind == TypePtr:
+			return yd, nil
+		}
+		return nil, c.errf(e.Line, "invalid + on %s and %s", xt, yt)
+	case "-":
+		switch {
+		case xd.IsInteger() && yd.IsInteger():
+			return typeLong, nil
+		case xd.Kind == TypePtr && yd.IsInteger():
+			return xd, nil
+		case xd.Kind == TypePtr && yd.Kind == TypePtr:
+			return typeLong, nil
+		}
+		return nil, c.errf(e.Line, "invalid - on %s and %s", xt, yt)
+	case "*", "/", "%", "&", "|", "^", "<<", ">>":
+		if !xd.IsInteger() || !yd.IsInteger() {
+			return nil, c.errf(e.Line, "invalid %s on %s and %s", e.Op, xt, yt)
+		}
+		return typeLong, nil
+	}
+	return nil, c.errf(e.Line, "unhandled binary %q", e.Op)
+}
+
+func (c *checker) call(e *Expr, stmtCtx bool) (*Type, error) {
+	if e.X.Kind != ExprIdent {
+		return nil, c.errf(e.Line, "only direct calls are supported (no function pointers)")
+	}
+	g, ok := c.globals[e.X.Name]
+	if !ok || g.Kind != DeclFunc {
+		if c.lookupLocal(e.X.Name) != nil {
+			return nil, c.errf(e.Line, "calling non-function %q", e.X.Name)
+		}
+		return nil, c.errf(e.Line, "call to undeclared function %q", e.X.Name)
+	}
+	e.X.Global = g
+	e.X.Type = g.Type
+	ft := g.Type
+	if len(e.Args) < len(ft.Params) || (!ft.Variadic && len(e.Args) > len(ft.Params)) {
+		return nil, c.errf(e.Line, "%q expects %d arguments, got %d", g.Name, len(ft.Params), len(e.Args))
+	}
+	for i, a := range e.Args {
+		at, err := c.expr(a, false)
+		if err != nil {
+			return nil, err
+		}
+		if i < len(ft.Params) {
+			if err := c.assignable(e.Line, ft.Params[i], at, a); err != nil {
+				return nil, err
+			}
+		} else if !at.Decays().IsScalar() {
+			return nil, c.errf(e.Line, "variadic argument %d has non-scalar type %s", i, at)
+		}
+	}
+	if ft.Ret.Kind == TypeVoid && !stmtCtx {
+		return nil, c.errf(e.Line, "void value of %q used", g.Name)
+	}
+	return ft.Ret, nil
+}
+
+func (c *checker) checkGlobalInit(d *Decl) error {
+	return c.foldInit(d.Type, d.Init)
+}
+
+// foldInit validates a global initializer shape: constants, strings,
+// global addresses, and (possibly nested) brace lists for arrays.
+func (c *checker) foldInit(t *Type, e *Expr) error {
+	switch {
+	case e.Kind == ExprInitList:
+		if t.Kind != TypeArray {
+			return c.errf(e.Line, "brace initializer for non-array %s", t)
+		}
+		if int64(len(e.Args)) > t.Len {
+			return c.errf(e.Line, "too many initializers (%d) for %s", len(e.Args), t)
+		}
+		for _, item := range e.Args {
+			if err := c.foldInit(t.Elem, item); err != nil {
+				return err
+			}
+		}
+		return nil
+	case t.Kind == TypeArray:
+		return c.errf(e.Line, "array %s needs a brace initializer", t)
+	case t.Kind == TypeStruct:
+		return c.errf(e.Line, "struct initializers are not supported")
+	}
+	v, err := c.constFold(e)
+	if err != nil {
+		return err
+	}
+	_ = v
+	return nil
+}
+
+// constVal is a folded global-initializer value: either a number, or a
+// symbol (string-literal label or global name) plus offset.
+type constVal struct {
+	num int64
+	sym string // "" for plain numbers
+	str []byte // non-nil for string literals (label assigned by codegen)
+}
+
+// constFold evaluates a constant expression for a global initializer and
+// records the folded value on the expression for the code generator.
+func (c *checker) constFold(e *Expr) (constVal, error) {
+	v, err := c.constFold1(e)
+	if err == nil {
+		e.Folded = &v
+	}
+	return v, err
+}
+
+func (c *checker) constFold1(e *Expr) (constVal, error) {
+	switch e.Kind {
+	case ExprNum:
+		e.Type = typeLong
+		return constVal{num: e.Num}, nil
+	case ExprString:
+		e.Type = ptrTo(typeChar)
+		return constVal{str: e.Str}, nil
+	case ExprUnary:
+		switch e.Op {
+		case "-", "~", "!":
+			v, err := c.constFold(e.X)
+			if err != nil {
+				return constVal{}, err
+			}
+			if v.sym != "" || v.str != nil {
+				return constVal{}, c.errf(e.Line, "non-numeric constant in %s", e.Op)
+			}
+			e.Type = typeLong
+			switch e.Op {
+			case "-":
+				return constVal{num: -v.num}, nil
+			case "~":
+				return constVal{num: ^v.num}, nil
+			default:
+				if v.num == 0 {
+					return constVal{num: 1}, nil
+				}
+				return constVal{num: 0}, nil
+			}
+		case "&":
+			if e.X.Kind == ExprIdent {
+				g, ok := c.globals[e.X.Name]
+				if ok && g.Kind == DeclVar {
+					e.Type = ptrTo(g.Type)
+					e.X.Global = g
+					e.X.Type = g.Type
+					return constVal{sym: g.Name}, nil
+				}
+			}
+			return constVal{}, c.errf(e.Line, "non-constant address in initializer")
+		}
+	case ExprBinary:
+		x, err := c.constFold(e.X)
+		if err != nil {
+			return constVal{}, err
+		}
+		y, err := c.constFold(e.Y)
+		if err != nil {
+			return constVal{}, err
+		}
+		e.Type = typeLong
+		if x.str != nil || y.str != nil || y.sym != "" {
+			return constVal{}, c.errf(e.Line, "unsupported constant expression")
+		}
+		if x.sym != "" {
+			// symbol + offset
+			if e.Op != "+" && e.Op != "-" {
+				return constVal{}, c.errf(e.Line, "unsupported constant expression on address")
+			}
+			off := y.num
+			if e.Op == "-" {
+				off = -off
+			}
+			return constVal{sym: x.sym, num: x.num + off}, nil
+		}
+		r, err := evalConstOp(e.Op, x.num, y.num)
+		if err != nil {
+			return constVal{}, c.errf(e.Line, "%v", err)
+		}
+		return constVal{num: r}, nil
+	case ExprSizeof:
+		t := e.CastTo
+		if t == nil {
+			xt, err := c.expr(e.X, false)
+			if err != nil {
+				return constVal{}, err
+			}
+			t = xt
+		}
+		e.Type = typeLong
+		e.Num = t.Size()
+		return constVal{num: t.Size()}, nil
+	case ExprIdent:
+		// Address of a global array used as a pointer initializer.
+		if g, ok := c.globals[e.Name]; ok && g.Kind == DeclVar && g.Type.Kind == TypeArray {
+			e.Global = g
+			e.Type = g.Type
+			return constVal{sym: g.Name}, nil
+		}
+	}
+	return constVal{}, c.errf(e.Line, "initializer is not constant")
+}
+
+func evalConstOp(op string, a, b int64) (int64, error) {
+	switch op {
+	case "+":
+		return a + b, nil
+	case "-":
+		return a - b, nil
+	case "*":
+		return a * b, nil
+	case "/":
+		if b == 0 {
+			return 0, fmt.Errorf("division by zero in constant")
+		}
+		return a / b, nil
+	case "%":
+		if b == 0 {
+			return 0, fmt.Errorf("modulo by zero in constant")
+		}
+		return a % b, nil
+	case "&":
+		return a & b, nil
+	case "|":
+		return a | b, nil
+	case "^":
+		return a ^ b, nil
+	case "<<":
+		return a << (uint64(b) & 63), nil
+	case ">>":
+		return a >> (uint64(b) & 63), nil
+	}
+	return 0, fmt.Errorf("unsupported constant operator %q", op)
+}

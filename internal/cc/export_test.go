@@ -1,0 +1,8 @@
+package cc
+
+import "atom/internal/aout"
+
+// BuildForTest exposes Build to the external test package.
+func BuildForTest(src string, include map[string]string) (*aout.File, error) {
+	return Build("test.c", src, include)
+}

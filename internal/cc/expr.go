@@ -1,0 +1,282 @@
+package cc
+
+// Expression parsing: standard C precedence via recursive descent.
+
+// expr parses a full expression (assignment level; the comma operator is
+// not supported).
+func (p *parser) expr() (*Expr, error) { return p.assignExpr() }
+
+var assignOps = map[string]bool{
+	"=": true, "+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"&=": true, "|=": true, "^=": true, "<<=": true, ">>=": true,
+}
+
+func (p *parser) assignExpr() (*Expr, error) {
+	lhs, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.tok()
+	if t.kind == tokPunct && assignOps[t.text] {
+		p.next()
+		rhs, err := p.assignExpr() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ExprBinary, Op: t.text, X: lhs, Y: rhs, Line: t.line}, nil
+	}
+	return lhs, nil
+}
+
+func (p *parser) condExpr() (*Expr, error) {
+	c, err := p.binExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.atText("?") {
+		line := p.tok().line
+		p.next()
+		yes, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		no, err := p.condExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ExprCond, X: c, Y: yes, Else: no, Line: line}, nil
+	}
+	return c, nil
+}
+
+// binLevels lists binary operators from lowest to highest precedence.
+var binLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) binExpr(level int) (*Expr, error) {
+	if level == len(binLevels) {
+		return p.unaryExpr()
+	}
+	lhs, err := p.binExpr(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.tok()
+		if t.kind != tokPunct || !contains(binLevels[level], t.text) {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.binExpr(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Expr{Kind: ExprBinary, Op: t.text, X: lhs, Y: rhs, Line: t.line}
+	}
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) unaryExpr() (*Expr, error) {
+	t := p.tok()
+	switch {
+	case p.accept("-"), p.accept("!"), p.accept("~"), p.accept("*"), p.accept("&"),
+		p.accept("++"), p.accept("--"), p.accept("+"):
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		if t.text == "+" {
+			return x, nil
+		}
+		return &Expr{Kind: ExprUnary, Op: t.text, X: x, Line: t.line}, nil
+
+	case p.atText("sizeof"):
+		p.next()
+		// sizeof(type) or sizeof expr.
+		if p.atText("(") && p.isTypeAt(p.pos+1) {
+			p.next()
+			base, err := p.baseType()
+			if err != nil {
+				return nil, err
+			}
+			ty, _, err := p.declarator(base)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: ExprSizeof, CastTo: ty, Line: t.line}, nil
+		}
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ExprSizeof, X: x, Line: t.line}, nil
+
+	case p.atText("(") && p.isTypeAt(p.pos+1):
+		// Cast.
+		p.next()
+		base, err := p.baseType()
+		if err != nil {
+			return nil, err
+		}
+		ty, _, err := p.declarator(base)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ExprCast, CastTo: ty, X: x, Line: t.line}, nil
+	}
+	return p.postfixExpr()
+}
+
+// isTypeAt reports whether the token at index i begins a type name.
+func (p *parser) isTypeAt(i int) bool {
+	if i >= len(p.toks) {
+		return false
+	}
+	t := p.toks[i]
+	if t.kind != tokKeyword {
+		return false
+	}
+	switch t.text {
+	case "char", "int", "long", "void", "struct", "unsigned", "const":
+		return true
+	}
+	return false
+}
+
+func (p *parser) postfixExpr() (*Expr, error) {
+	e, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.tok()
+		switch {
+		case p.accept("["):
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			e = &Expr{Kind: ExprIndex, X: e, Y: idx, Line: t.line}
+		case p.accept("("):
+			call := &Expr{Kind: ExprCall, X: e, Line: t.line}
+			for !p.accept(")") {
+				arg, err := p.assignExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if p.accept(",") {
+					continue
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				break
+			}
+			e = call
+		case p.accept("."):
+			if !p.at(tokIdent) {
+				return nil, p.errf("expected field name after '.'")
+			}
+			e = &Expr{Kind: ExprMember, X: e, Name: p.next().text, Line: t.line}
+		case p.accept("->"):
+			if !p.at(tokIdent) {
+				return nil, p.errf("expected field name after '->'")
+			}
+			e = &Expr{Kind: ExprMember, X: e, Name: p.next().text, Arrow: true, Line: t.line}
+		case p.accept("++"), p.accept("--"):
+			e = &Expr{Kind: ExprPostfix, Op: t.text, X: e, Line: t.line}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) primaryExpr() (*Expr, error) {
+	t := p.tok()
+	switch t.kind {
+	case tokNumber, tokChar:
+		p.next()
+		return &Expr{Kind: ExprNum, Num: t.num, Line: t.line}, nil
+	case tokString:
+		p.next()
+		str := t.str
+		// Adjacent string literals concatenate.
+		for p.at(tokString) {
+			str = append(str, p.next().str...)
+		}
+		return &Expr{Kind: ExprString, Str: str, Line: t.line}, nil
+	case tokIdent:
+		p.next()
+		if t.text == "__va" {
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: ExprVa, Line: t.line}, nil
+		}
+		if t.text == "__arg" {
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			idx, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: ExprArg, X: idx, Line: t.line}, nil
+		}
+		return &Expr{Kind: ExprIdent, Name: t.text, Line: t.line}, nil
+	case tokPunct:
+		if t.text == "(" {
+			p.next()
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("expected expression, found %s", t)
+}

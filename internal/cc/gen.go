@@ -1,0 +1,426 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The code generator translates a checked Program into assembly text for
+// internal/asm. The model is deliberately simple and predictable (this is
+// the "application compiler" substrate, not the paper's contribution):
+//
+//   - Every expression value passes through t0; subexpression values are
+//     spilled to a per-function evaluation area in the frame, so calls
+//     (which clobber all caller-save registers) never lose live values.
+//   - All locals live in memory at fixed frame offsets; & works uniformly.
+//   - The frame layout, from the stack pointer upward: outgoing stack
+//     arguments (calls with >6 args), the evaluation area, locals, the
+//     saved ra, padding to 16 bytes, and — for variadic functions — a
+//     48-byte register save area adjacent to the incoming stack
+//     arguments so that __arg(i) indexes one contiguous array.
+//
+// Code generation runs twice per function: the first pass measures the
+// evaluation-area depth and outgoing-argument maximum (discarding its
+// output), the second emits text with the final frame offsets.
+type generator struct {
+	out      strings.Builder
+	strs     map[string]string // string contents -> label
+	strOrder []string
+
+	// Per-function state.
+	fn       *Decl
+	pass     int
+	body     []string
+	labelN   int
+	depth    int // current evaluation-stack depth (slots)
+	maxEval  int
+	maxOut   int // outgoing stack-argument bytes
+	frame    frameInfo
+	breakLbl []string
+	contLbl  []string
+	// caseLabels maps case statements to their generated labels, filled
+	// by genSwitch before it walks the switch body.
+	caseLabels map[*Stmt]string
+	err        error
+}
+
+type frameInfo struct {
+	outBytes  int64 // outgoing args at sp+0
+	evalBase  int64
+	localBase int64
+	raOff     int64
+	vaOff     int64 // variadic register-save area offset; -1 if none
+	size      int64
+}
+
+// generate produces the assembly for a checked program.
+func generate(prog *Program) (string, error) {
+	g := &generator{strs: map[string]string{}}
+	g.out.WriteString("\t.text\n")
+	// A merged prototype aliases its definition's Decl contents, so the
+	// same function (or variable) can appear several times in Decls;
+	// emit each name once.
+	emitted := map[string]bool{}
+	for _, d := range prog.Decls {
+		if d.Kind == DeclFunc && d.Body != nil && !emitted[d.Name] {
+			emitted[d.Name] = true
+			if err := g.genFunc(d); err != nil {
+				return "", err
+			}
+		}
+	}
+	g.genData(prog)
+	return g.out.String(), g.err
+}
+
+func (g *generator) emit(format string, args ...any) {
+	if g.pass == 2 {
+		g.body = append(g.body, fmt.Sprintf(format, args...))
+	}
+}
+
+func (g *generator) label() string {
+	g.labelN++
+	return fmt.Sprintf(".L%s_%d", g.fn.Name, g.labelN)
+}
+
+func (g *generator) placeLabel(l string) { g.emit("%s:", l) }
+
+func (g *generator) failf(line int, format string, args ...any) {
+	if g.err == nil {
+		g.err = fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...))
+	}
+}
+
+// push spills t0 to the evaluation area.
+func (g *generator) push() {
+	g.storeSlot("t0", int64(g.depth))
+	g.depth++
+	if g.depth > g.maxEval {
+		g.maxEval = g.depth
+	}
+}
+
+// pop reloads the top evaluation slot into reg.
+func (g *generator) pop(reg string) {
+	g.depth--
+	g.loadSlot(reg, int64(g.depth))
+}
+
+// peek loads the slot n below the top without popping.
+func (g *generator) peek(reg string, n int) {
+	g.loadSlot(reg, int64(g.depth-1-n))
+}
+
+func (g *generator) storeSlot(reg string, slot int64) {
+	g.memOff("stq", reg, g.frame.evalBase+slot*8)
+}
+
+func (g *generator) loadSlot(reg string, slot int64) {
+	g.memOff("ldq", reg, g.frame.evalBase+slot*8)
+}
+
+// memOff emits a load/store of reg at sp+off, handling offsets beyond the
+// 16-bit displacement range via the assembler temporary.
+func (g *generator) memOff(op, reg string, off int64) {
+	if off >= -0x8000 && off <= 0x7FFF {
+		g.emit("\t%s %s, %d(sp)", op, reg, off)
+		return
+	}
+	g.emit("\tli at, %d", off)
+	g.emit("\taddq sp, at, at")
+	g.emit("\t%s %s, 0(at)", op, reg)
+}
+
+// addrOfFrame materializes sp+off into reg.
+func (g *generator) addrOfFrame(reg string, off int64) {
+	if off >= -0x8000 && off <= 0x7FFF {
+		g.emit("\tlda %s, %d(sp)", reg, off)
+		return
+	}
+	g.emit("\tli %s, %d", reg, off)
+	g.emit("\taddq sp, %s, %s", reg, reg)
+}
+
+func (g *generator) genFunc(d *Decl) error {
+	g.fn = d
+	// Pass 1: measure.
+	g.pass = 1
+	g.frame = frameInfo{}
+	g.maxEval, g.maxOut, g.labelN, g.depth = 0, 0, 0, 0
+	g.body = nil
+	g.breakLbl, g.contLbl = nil, nil
+	g.genBody()
+	if g.err != nil {
+		return g.err
+	}
+
+	// Frame layout.
+	var f frameInfo
+	f.outBytes = int64(g.maxOut)
+	f.evalBase = f.outBytes
+	f.localBase = f.evalBase + int64(g.maxEval)*8
+	off := f.localBase
+	for _, l := range d.Locals {
+		a := l.Type.Align()
+		off = (off + a - 1) &^ (a - 1)
+		l.Offset = off
+		off += l.Type.Size()
+	}
+	off = (off + 7) &^ 7
+	f.raOff = off
+	off += 8
+	off = (off + 15) &^ 15
+	f.vaOff = -1
+	if d.Type.Variadic {
+		f.vaOff = off
+		off += 48
+	}
+	f.size = off
+	g.frame = f
+
+	// Pass 2: emit.
+	g.pass = 2
+	g.maxEval, g.maxOut, g.labelN, g.depth = 0, 0, 0, 0
+	g.body = nil
+	g.breakLbl, g.contLbl = nil, nil
+	g.genBody()
+	if g.err != nil {
+		return g.err
+	}
+
+	if !d.Static {
+		fmt.Fprintf(&g.out, "\t.globl %s\n", d.Name)
+	}
+	fmt.Fprintf(&g.out, "\t.ent %s\n%s:\n", d.Name, d.Name)
+	// Frames beyond the 16-bit displacement range are adjusted through
+	// the assembler temporary; per-slot accesses go through directMem.
+	if f.size <= 0x7FFF {
+		fmt.Fprintf(&g.out, "\tlda sp, -%d(sp)\n", f.size)
+	} else {
+		fmt.Fprintf(&g.out, "\tli at, %d\n\tsubq sp, at, sp\n", f.size)
+	}
+	g.directMem("stq", "ra", f.raOff)
+	if f.vaOff >= 0 {
+		for i := 0; i < 6; i++ {
+			g.directMem("stq", fmt.Sprintf("a%d", i), f.vaOff+int64(i)*8)
+		}
+	}
+	// Spill named parameters into their local slots. Stack parameters
+	// pass through t0 so at stays free for large offsets.
+	for _, l := range d.Locals {
+		if !l.IsParm {
+			continue
+		}
+		if l.Index < 6 {
+			g.directMem("stq", fmt.Sprintf("a%d", l.Index), l.Offset)
+		} else {
+			g.directMem("ldq", "t0", f.size+int64(l.Index-6)*8)
+			g.directMem("stq", "t0", l.Offset)
+		}
+	}
+	for _, line := range g.body {
+		g.out.WriteString(line)
+		g.out.WriteByte('\n')
+	}
+	// Epilogue.
+	fmt.Fprintf(&g.out, ".Lret_%s:\n", d.Name)
+	g.directMem("ldq", "ra", f.raOff)
+	if f.size <= 0x7FFF {
+		fmt.Fprintf(&g.out, "\tlda sp, %d(sp)\n", f.size)
+	} else {
+		fmt.Fprintf(&g.out, "\tli at, %d\n\taddq sp, at, sp\n", f.size)
+	}
+	fmt.Fprintf(&g.out, "\tret (ra)\n")
+	fmt.Fprintf(&g.out, "\t.end %s\n", d.Name)
+	return nil
+}
+
+// directMem writes a load/store of reg at sp+off straight to the output
+// (prologue/epilogue, outside the two-pass body machinery), using the
+// assembler temporary for offsets beyond the displacement range.
+func (g *generator) directMem(op, reg string, off int64) {
+	if off >= -0x8000 && off <= 0x7FFF {
+		fmt.Fprintf(&g.out, "\t%s %s, %d(sp)\n", op, reg, off)
+		return
+	}
+	fmt.Fprintf(&g.out, "\tli at, %d\n\taddq sp, at, at\n\t%s %s, 0(at)\n", off, op, reg)
+}
+
+func (g *generator) genBody() {
+	g.stmt(g.fn.Body)
+	// Fall off the end: void functions just return; value functions
+	// return an undefined v0 (as in C).
+	g.emit("\tbr .Lret_%s", g.fn.Name)
+}
+
+func (g *generator) stmt(s *Stmt) {
+	if g.err != nil {
+		return
+	}
+	switch s.Kind {
+	case StmtEmpty:
+	case StmtExpr:
+		g.expr(s.Expr)
+	case StmtDecl:
+		if s.DeclInit != nil {
+			g.expr(s.DeclInit)
+			g.storeTo(s.Decl.Type, s.Decl.Offset)
+		}
+	case StmtBlock:
+		for _, st := range s.List {
+			g.stmt(st)
+		}
+	case StmtIf:
+		lElse := g.label()
+		g.expr(s.Expr)
+		g.emit("\tbeq t0, %s", lElse)
+		g.stmt(s.Body)
+		if s.Else != nil {
+			lEnd := g.label()
+			g.emit("\tbr %s", lEnd)
+			g.placeLabel(lElse)
+			g.stmt(s.Else)
+			g.placeLabel(lEnd)
+		} else {
+			g.placeLabel(lElse)
+		}
+	case StmtWhile:
+		lTop, lEnd := g.label(), g.label()
+		g.placeLabel(lTop)
+		g.expr(s.Expr)
+		g.emit("\tbeq t0, %s", lEnd)
+		g.pushLoop(lEnd, lTop)
+		g.stmt(s.Body)
+		g.popLoop()
+		g.emit("\tbr %s", lTop)
+		g.placeLabel(lEnd)
+	case StmtDoWhile:
+		lTop, lCond, lEnd := g.label(), g.label(), g.label()
+		g.placeLabel(lTop)
+		g.pushLoop(lEnd, lCond)
+		g.stmt(s.Body)
+		g.popLoop()
+		g.placeLabel(lCond)
+		g.expr(s.Expr)
+		g.emit("\tbne t0, %s", lTop)
+		g.placeLabel(lEnd)
+	case StmtFor:
+		lTop, lPost, lEnd := g.label(), g.label(), g.label()
+		if s.Init != nil {
+			g.stmt(s.Init)
+		}
+		g.placeLabel(lTop)
+		if s.Expr != nil {
+			g.expr(s.Expr)
+			g.emit("\tbeq t0, %s", lEnd)
+		}
+		g.pushLoop(lEnd, lPost)
+		g.stmt(s.Body)
+		g.popLoop()
+		g.placeLabel(lPost)
+		if s.Post != nil {
+			g.expr(s.Post)
+		}
+		g.emit("\tbr %s", lTop)
+		g.placeLabel(lEnd)
+	case StmtReturn:
+		if s.Expr != nil {
+			g.expr(s.Expr)
+			g.emit("\tmov t0, v0")
+		}
+		g.emit("\tbr .Lret_%s", g.fn.Name)
+	case StmtBreak:
+		g.emit("\tbr %s", g.breakLbl[len(g.breakLbl)-1])
+	case StmtContinue:
+		g.emit("\tbr %s", g.contLbl[len(g.contLbl)-1])
+	case StmtSwitch:
+		g.genSwitch(s)
+	case StmtCase:
+		// Labels are placed by genSwitch via caseLabels; nothing here.
+		if l, ok := g.caseLabels[s]; ok {
+			g.placeLabel(l)
+		}
+	default:
+		g.failf(s.Line, "unhandled statement kind %d", s.Kind)
+	}
+}
+
+func (g *generator) pushLoop(brk, cont string) {
+	g.breakLbl = append(g.breakLbl, brk)
+	g.contLbl = append(g.contLbl, cont)
+}
+
+func (g *generator) popLoop() {
+	g.breakLbl = g.breakLbl[:len(g.breakLbl)-1]
+	g.contLbl = g.contLbl[:len(g.contLbl)-1]
+}
+
+// genSwitch lowers a switch to a compare-and-branch chain.
+func (g *generator) genSwitch(s *Stmt) {
+	if g.caseLabels == nil {
+		g.caseLabels = map[*Stmt]string{}
+	}
+	var cases []*Stmt
+	collectCases(s.Body, &cases)
+	g.expr(s.Expr)
+	lEnd := g.label()
+	var lDefault string
+	for _, cs := range cases {
+		l := g.label()
+		g.caseLabels[cs] = l
+		if cs.IsDefault {
+			lDefault = l
+			continue
+		}
+		if cs.CaseVal >= 0 && cs.CaseVal <= 255 {
+			g.emit("\tcmpeq t0, %d, t1", cs.CaseVal)
+		} else {
+			g.emit("\tli t1, %d", cs.CaseVal)
+			g.emit("\tcmpeq t0, t1, t1")
+		}
+		g.emit("\tbne t1, %s", l)
+	}
+	if lDefault != "" {
+		g.emit("\tbr %s", lDefault)
+	} else {
+		g.emit("\tbr %s", lEnd)
+	}
+	g.breakLbl = append(g.breakLbl, lEnd)
+	g.stmt(s.Body)
+	g.breakLbl = g.breakLbl[:len(g.breakLbl)-1]
+	g.placeLabel(lEnd)
+}
+
+// collectCases gathers case labels lexically within the switch body,
+// without descending into nested switches.
+func collectCases(s *Stmt, out *[]*Stmt) {
+	switch s.Kind {
+	case StmtCase:
+		*out = append(*out, s)
+	case StmtSwitch:
+		return
+	case StmtBlock:
+		for _, st := range s.List {
+			collectCases(st, out)
+		}
+	case StmtIf:
+		collectCases(s.Body, out)
+		if s.Else != nil {
+			collectCases(s.Else, out)
+		}
+	case StmtWhile, StmtDoWhile, StmtFor:
+		if s.Body != nil {
+			collectCases(s.Body, out)
+		}
+	}
+}
+
+// storeTo stores t0 into a frame slot with the width of t.
+func (g *generator) storeTo(t *Type, off int64) {
+	if t.Kind == TypeChar {
+		g.memOff("stb", "t0", off)
+	} else {
+		g.memOff("stq", "t0", off)
+	}
+}

@@ -1,0 +1,219 @@
+package cc
+
+// Binary operator code generation, including assignment and
+// short-circuit logical operators.
+
+func (g *generator) binary(e *Expr) {
+	switch {
+	case e.Op == "=":
+		g.addr(e.X)
+		g.push()
+		g.expr(e.Y)
+		g.pop("t1")
+		g.storeThrough(e.X.Type, "t1")
+		return
+
+	case assignOps[e.Op]: // compound assignment
+		base := e.Op[:len(e.Op)-1]
+		g.addr(e.X)
+		g.push()
+		g.expr(e.Y)
+		if e.X.Type.Kind == TypePtr {
+			g.scale("t0", e.X.Type.Elem.Size())
+		}
+		g.push()
+		g.peek("t1", 1) // address
+		g.loadThrough(e.X.Type, "t1")
+		g.pop("t1") // right operand
+		g.binOp(base, e)
+		g.pop("t1") // address
+		g.storeThrough(e.X.Type, "t1")
+		return
+
+	case e.Op == "&&":
+		lShort, lEnd := g.label(), g.label()
+		g.expr(e.X)
+		g.emit("\tbeq t0, %s", lShort)
+		g.expr(e.Y)
+		g.emit("\tcmpeq t0, 0, t0")
+		g.emit("\txor t0, 1, t0")
+		g.emit("\tbr %s", lEnd)
+		g.placeLabel(lShort)
+		g.emit("\tclr t0")
+		g.placeLabel(lEnd)
+		return
+
+	case e.Op == "||":
+		lShort, lEnd := g.label(), g.label()
+		g.expr(e.X)
+		g.emit("\tbne t0, %s", lShort)
+		g.expr(e.Y)
+		g.emit("\tcmpeq t0, 0, t0")
+		g.emit("\txor t0, 1, t0")
+		g.emit("\tbr %s", lEnd)
+		g.placeLabel(lShort)
+		g.emit("\tli t0, 1")
+		g.placeLabel(lEnd)
+		return
+	}
+
+	// Pointer +/- integer-constant fast path.
+	xd := e.X.Type.Decays()
+	if (e.Op == "+" || e.Op == "-") && xd.Kind == TypePtr && e.Y.Kind == ExprNum {
+		g.expr(e.X)
+		d := e.Y.Num * xd.Elem.Size()
+		if e.Op == "-" {
+			d = -d
+		}
+		g.addImm("t0", d)
+		return
+	}
+
+	// Division/modulo by a positive power-of-two constant: strength-reduce
+	// to shifts with the usual signed-rounding correction
+	// (q = (n + ((n>>63) & (d-1))) >> log2(d)), avoiding the software
+	// divide.
+	if (e.Op == "/" || e.Op == "%") && e.Y.Kind == ExprNum && xd.IsInteger() {
+		if d := e.Y.Num; d > 0 && d&(d-1) == 0 {
+			g.expr(e.X)
+			if d == 1 {
+				if e.Op == "%" {
+					g.emit("\tclr t0")
+				}
+				return
+			}
+			k := log2(d)
+			g.emit("\tmov t0, t3")
+			g.emit("\tsra t0, 63, t1")
+			if d-1 <= 255 {
+				g.emit("\tand t1, %d, t1", d-1)
+			} else {
+				g.emit("\tli t2, %d", d-1)
+				g.emit("\tand t1, t2, t1")
+			}
+			g.emit("\taddq t3, t1, t0")
+			g.emit("\tsra t0, %d, t0", k)
+			if e.Op == "%" {
+				g.emit("\tsll t0, %d, t0", k)
+				g.emit("\tsubq t3, t0, t0")
+			}
+			return
+		}
+	}
+
+	// Integer-literal fast path for commutative-safe forms.
+	if e.Y.Kind == ExprNum && e.Y.Num >= 0 && e.Y.Num <= 255 && xd.IsInteger() && e.X.Type.Decays().IsInteger() {
+		lit := e.Y.Num
+		switch e.Op {
+		case "+", "-", "*", "&", "|", "^", "<<", ">>", "==", "!=", "<", "<=":
+			g.expr(e.X)
+			switch e.Op {
+			case "+":
+				g.emit("\taddq t0, %d, t0", lit)
+			case "-":
+				g.emit("\tsubq t0, %d, t0", lit)
+			case "*":
+				g.emit("\tmulq t0, %d, t0", lit)
+			case "&":
+				g.emit("\tand t0, %d, t0", lit)
+			case "|":
+				g.emit("\tbis t0, %d, t0", lit)
+			case "^":
+				g.emit("\txor t0, %d, t0", lit)
+			case "<<":
+				g.emit("\tsll t0, %d, t0", lit)
+			case ">>":
+				g.emit("\tsra t0, %d, t0", lit)
+			case "==":
+				g.emit("\tcmpeq t0, %d, t0", lit)
+			case "!=":
+				g.emit("\tcmpeq t0, %d, t0", lit)
+				g.emit("\txor t0, 1, t0")
+			case "<":
+				g.emit("\tcmplt t0, %d, t0", lit)
+			case "<=":
+				g.emit("\tcmple t0, %d, t0", lit)
+			}
+			return
+		}
+	}
+
+	// General path: X in a slot, Y in t1, X back in t0.
+	g.expr(e.X)
+	if e.Op == "+" && xd.IsInteger() && e.Y.Type.Decays().Kind == TypePtr {
+		// int + ptr: scale the integer side.
+		g.scale("t0", e.Y.Type.Decays().Elem.Size())
+	}
+	g.push()
+	g.expr(e.Y)
+	yd := e.Y.Type.Decays()
+	if xd.Kind == TypePtr && yd.IsInteger() && (e.Op == "+" || e.Op == "-") {
+		g.scale("t0", xd.Elem.Size())
+	}
+	g.emit("\tmov t0, t1")
+	g.pop("t0")
+	g.binOp(e.Op, e)
+
+	// Pointer difference: divide by the element size.
+	if e.Op == "-" && xd.Kind == TypePtr && yd.Kind == TypePtr {
+		size := xd.Elem.Size()
+		switch {
+		case size == 1:
+		case size&(size-1) == 0:
+			g.emit("\tsra t0, %d, t0", log2(size))
+		default:
+			g.emit("\tmov t0, a0")
+			g.emit("\tli a1, %d", size)
+			g.emit("\tbsr ra, __divq")
+			g.emit("\tmov v0, t0")
+		}
+	}
+}
+
+// binOp combines t0 (left) and t1 (right) into t0 for a simple operator.
+// Division and modulo call the runtime support routines (the Alpha has no
+// integer-divide instruction; OSF/1 provides these in libc).
+func (g *generator) binOp(op string, e *Expr) {
+	switch op {
+	case "+":
+		g.emit("\taddq t0, t1, t0")
+	case "-":
+		g.emit("\tsubq t0, t1, t0")
+	case "*":
+		g.emit("\tmulq t0, t1, t0")
+	case "/", "%":
+		g.emit("\tmov t0, a0")
+		g.emit("\tmov t1, a1")
+		if op == "/" {
+			g.emit("\tbsr ra, __divq")
+		} else {
+			g.emit("\tbsr ra, __remq")
+		}
+		g.emit("\tmov v0, t0")
+	case "&":
+		g.emit("\tand t0, t1, t0")
+	case "|":
+		g.emit("\tbis t0, t1, t0")
+	case "^":
+		g.emit("\txor t0, t1, t0")
+	case "<<":
+		g.emit("\tsll t0, t1, t0")
+	case ">>":
+		g.emit("\tsra t0, t1, t0")
+	case "==":
+		g.emit("\tcmpeq t0, t1, t0")
+	case "!=":
+		g.emit("\tcmpeq t0, t1, t0")
+		g.emit("\txor t0, 1, t0")
+	case "<":
+		g.emit("\tcmplt t0, t1, t0")
+	case "<=":
+		g.emit("\tcmple t0, t1, t0")
+	case ">":
+		g.emit("\tcmplt t1, t0, t0")
+	case ">=":
+		g.emit("\tcmple t1, t0, t0")
+	default:
+		g.failf(e.Line, "unhandled binary operator %q", op)
+	}
+}

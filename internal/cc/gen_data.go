@@ -1,0 +1,102 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Data-section emission: string literals and global variables.
+
+// strLabel interns a string literal and returns its data label.
+func (g *generator) strLabel(s []byte) string {
+	key := string(s)
+	if l, ok := g.strs[key]; ok {
+		return l
+	}
+	l := fmt.Sprintf(".Lstr%d", len(g.strOrder))
+	g.strs[key] = l
+	g.strOrder = append(g.strOrder, key)
+	return l
+}
+
+func (g *generator) genData(prog *Program) {
+	var data, bss strings.Builder
+	emitted := map[string]bool{}
+	for _, d := range prog.Decls {
+		if d.Kind != DeclVar || d.Extern || emitted[d.Name] {
+			continue
+		}
+		emitted[d.Name] = true
+		if d.Init == nil {
+			if d.Static {
+				fmt.Fprintf(&bss, "\t.lcomm %s, %d\n", d.Name, d.Type.Size())
+			} else {
+				fmt.Fprintf(&bss, "\t.comm %s, %d\n", d.Name, d.Type.Size())
+			}
+			continue
+		}
+		if !d.Static {
+			fmt.Fprintf(&data, "\t.globl %s\n", d.Name)
+		}
+		fmt.Fprintf(&data, "\t.align %d\n", log2(d.Type.Align()))
+		fmt.Fprintf(&data, "%s:\n", d.Name)
+		g.genInit(&data, d.Type, d.Init, d.Line)
+	}
+	// String literals referenced from code or initializers.
+	for i, key := range g.strOrder {
+		fmt.Fprintf(&data, ".Lstr%d:\n", i)
+		genStringBytes(&data, []byte(key))
+	}
+	if data.Len() > 0 {
+		g.out.WriteString("\t.data\n")
+		g.out.WriteString(data.String())
+	}
+	if bss.Len() > 0 {
+		g.out.WriteString("\t.bss\n")
+		g.out.WriteString(bss.String())
+	}
+}
+
+func genStringBytes(w *strings.Builder, s []byte) {
+	w.WriteString("\t.byte ")
+	for _, b := range s {
+		fmt.Fprintf(w, "%d, ", b)
+	}
+	w.WriteString("0\n")
+}
+
+// genInit renders one initializer for a variable of type t.
+func (g *generator) genInit(w *strings.Builder, t *Type, e *Expr, line int) {
+	switch {
+	case e.Kind == ExprInitList:
+		for _, item := range e.Args {
+			g.genInit(w, t.Elem, item, line)
+		}
+		if missing := t.Len - int64(len(e.Args)); missing > 0 {
+			fmt.Fprintf(w, "\t.space %d\n", missing*t.Elem.Size())
+		}
+	case t.Kind == TypeChar:
+		v := e.Folded
+		if v == nil || v.sym != "" || v.str != nil {
+			g.failf(line, "bad char initializer")
+			return
+		}
+		fmt.Fprintf(w, "\t.byte %d\n", uint8(v.num))
+	default: // long or pointer
+		v := e.Folded
+		switch {
+		case v == nil:
+			g.failf(line, "missing folded initializer")
+		case v.str != nil:
+			fmt.Fprintf(w, "\t.quad %s\n", g.strLabel(v.str))
+		case v.sym != "" && v.num < 0:
+			fmt.Fprintf(w, "\t.quad %s-%d\n", v.sym, -v.num)
+		case v.sym != "" && v.num > 0:
+			fmt.Fprintf(w, "\t.quad %s+%d\n", v.sym, v.num)
+		case v.sym != "":
+			fmt.Fprintf(w, "\t.quad %s\n", v.sym)
+		default:
+			fmt.Fprintf(w, "\t.quad %d\n", v.num)
+		}
+	}
+}

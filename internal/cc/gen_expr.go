@@ -1,0 +1,283 @@
+package cc
+
+// Expression code generation. Convention: expr leaves the value in t0;
+// addr leaves an lvalue's address in t0. Registers t1-t4 are scratch
+// within one operation; values that must survive nested evaluation are
+// spilled to the frame evaluation area via push/pop.
+
+// expr generates code computing e into t0.
+func (g *generator) expr(e *Expr) {
+	if g.err != nil {
+		return
+	}
+	switch e.Kind {
+	case ExprNum:
+		g.emit("\tli t0, %d", e.Num)
+
+	case ExprString:
+		g.emit("\tla t0, %s", g.strLabel(e.Str))
+
+	case ExprIdent:
+		switch {
+		case e.Type.Kind == TypeArray, e.Type.Kind == TypeStruct:
+			g.addr(e) // arrays and structs evaluate to their address
+		case e.Local != nil:
+			g.loadFrom(e.Type, e.Local.Offset)
+		case e.Global != nil && e.Global.Kind == DeclFunc:
+			g.failf(e.Line, "function %q used as a value", e.Name)
+		default:
+			g.emit("\tla t1, %s", e.Global.Name)
+			g.loadThrough(e.Type, "t1")
+		}
+
+	case ExprVa:
+		g.addrOfFrame("t0", g.frame.vaOff)
+
+	case ExprArg:
+		g.expr(e.X)
+		g.emit("\tsll t0, 3, t0")
+		g.addrOfFrame("t1", g.frame.vaOff)
+		g.emit("\taddq t1, t0, t1")
+		g.emit("\tldq t0, 0(t1)")
+
+	case ExprUnary:
+		g.unary(e)
+
+	case ExprPostfix:
+		g.incDec(e, true)
+
+	case ExprBinary:
+		g.binary(e)
+
+	case ExprCond:
+		lElse, lEnd := g.label(), g.label()
+		g.expr(e.X)
+		g.emit("\tbeq t0, %s", lElse)
+		g.expr(e.Y)
+		g.emit("\tbr %s", lEnd)
+		g.placeLabel(lElse)
+		g.expr(e.Else)
+		g.placeLabel(lEnd)
+
+	case ExprCall:
+		g.call(e)
+
+	case ExprIndex, ExprMember:
+		if e.Type.Kind == TypeArray || e.Type.Kind == TypeStruct {
+			g.addr(e)
+			return
+		}
+		g.addr(e)
+		g.emit("\tmov t0, t1")
+		g.loadThrough(e.Type, "t1")
+
+	case ExprSizeof:
+		g.emit("\tli t0, %d", e.Num)
+
+	case ExprCast:
+		g.expr(e.X)
+		if e.CastTo.Kind == TypeChar {
+			g.emit("\tand t0, 0xff, t0")
+		}
+
+	default:
+		g.failf(e.Line, "unhandled expression kind %d", e.Kind)
+	}
+}
+
+// addr generates code computing the address of lvalue e into t0.
+func (g *generator) addr(e *Expr) {
+	if g.err != nil {
+		return
+	}
+	switch e.Kind {
+	case ExprIdent:
+		if e.Local != nil {
+			g.addrOfFrame("t0", e.Local.Offset)
+		} else {
+			g.emit("\tla t0, %s", e.Global.Name)
+		}
+
+	case ExprUnary:
+		if e.Op != "*" {
+			g.failf(e.Line, "address of non-lvalue unary %q", e.Op)
+			return
+		}
+		g.expr(e.X) // pointer value is the address
+
+	case ExprIndex:
+		g.expr(e.X) // decayed pointer value
+		g.push()
+		g.expr(e.Y)
+		g.scale("t0", e.Type.Size())
+		g.pop("t1")
+		g.emit("\taddq t1, t0, t0")
+
+	case ExprMember:
+		if e.Arrow {
+			g.expr(e.X)
+		} else {
+			g.addr(e.X)
+		}
+		if e.Field.Offset != 0 {
+			g.addImm("t0", e.Field.Offset)
+		}
+
+	case ExprString:
+		g.emit("\tla t0, %s", g.strLabel(e.Str))
+
+	default:
+		g.failf(e.Line, "cannot take the address of this expression")
+	}
+}
+
+// scale multiplies reg by a constant element size.
+func (g *generator) scale(reg string, size int64) {
+	switch {
+	case size == 1:
+	case size > 0 && size&(size-1) == 0:
+		g.emit("\tsll %s, %d, %s", reg, log2(size), reg)
+	case size >= 0 && size <= 255:
+		g.emit("\tmulq %s, %d, %s", reg, size, reg)
+	default:
+		g.emit("\tli t2, %d", size)
+		g.emit("\tmulq %s, t2, %s", reg, reg)
+	}
+}
+
+func log2(v int64) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// addImm adds a constant to reg in place.
+func (g *generator) addImm(reg string, v int64) {
+	switch {
+	case v == 0:
+	case v >= 0 && v <= 255:
+		g.emit("\taddq %s, %d, %s", reg, v, reg)
+	case v < 0 && v >= -255:
+		g.emit("\tsubq %s, %d, %s", reg, -v, reg)
+	case v >= -0x8000 && v <= 0x7FFF:
+		g.emit("\tlda %s, %d(%s)", reg, v, reg)
+	default:
+		g.emit("\tli t2, %d", v)
+		g.emit("\taddq %s, t2, %s", reg, reg)
+	}
+}
+
+// loadFrom loads a scalar of type t at a frame offset into t0.
+func (g *generator) loadFrom(t *Type, off int64) {
+	if t.Kind == TypeChar {
+		g.memOff("ldbu", "t0", off)
+	} else {
+		g.memOff("ldq", "t0", off)
+	}
+}
+
+// loadThrough loads a scalar of type t from the address in reg into t0.
+func (g *generator) loadThrough(t *Type, reg string) {
+	if t.Kind == TypeChar {
+		g.emit("\tldbu t0, 0(%s)", reg)
+	} else {
+		g.emit("\tldq t0, 0(%s)", reg)
+	}
+}
+
+// storeThrough stores t0 (scalar of type t) to the address in reg.
+func (g *generator) storeThrough(t *Type, reg string) {
+	if t.Kind == TypeChar {
+		g.emit("\tstb t0, 0(%s)", reg)
+	} else {
+		g.emit("\tstq t0, 0(%s)", reg)
+	}
+}
+
+func (g *generator) unary(e *Expr) {
+	switch e.Op {
+	case "-":
+		g.expr(e.X)
+		g.emit("\tnegq t0, t0")
+	case "~":
+		g.expr(e.X)
+		g.emit("\tnot t0, t0")
+	case "!":
+		g.expr(e.X)
+		g.emit("\tcmpeq t0, 0, t0")
+	case "*":
+		g.expr(e.X)
+		if e.Type.Kind == TypeArray || e.Type.Kind == TypeStruct {
+			return // address is the value
+		}
+		g.emit("\tmov t0, t1")
+		g.loadThrough(e.Type, "t1")
+	case "&":
+		g.addr(e.X)
+	case "++", "--":
+		g.incDec(e, false)
+	default:
+		g.failf(e.Line, "unhandled unary %q", e.Op)
+	}
+}
+
+// incDec handles ++/-- (pre when post is false).
+func (g *generator) incDec(e *Expr, post bool) {
+	delta := int64(1)
+	if t := e.X.Type; t.Kind == TypePtr {
+		delta = t.Elem.Size()
+	}
+	g.addr(e.X)
+	g.emit("\tmov t0, t2") // address
+	g.loadThrough(e.X.Type, "t2")
+	g.emit("\tmov t0, t3") // old value
+	neg := e.Op == "--"
+	switch {
+	case delta <= 255 && !neg:
+		g.emit("\taddq t0, %d, t0", delta)
+	case delta <= 255 && neg:
+		g.emit("\tsubq t0, %d, t0", delta)
+	default:
+		g.emit("\tli t4, %d", delta)
+		if neg {
+			g.emit("\tsubq t0, t4, t0")
+		} else {
+			g.emit("\taddq t0, t4, t0")
+		}
+	}
+	g.storeThrough(e.X.Type, "t2")
+	if post {
+		g.emit("\tmov t3, t0")
+	}
+}
+
+func (g *generator) call(e *Expr) {
+	for _, a := range e.Args {
+		g.expr(a)
+		g.push()
+	}
+	n := len(e.Args)
+	if n > 6 {
+		out := (n - 6) * 8
+		if out > g.maxOut {
+			g.maxOut = out
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		if i < 6 {
+			g.pop(regName(i))
+		} else {
+			g.pop("t0")
+			g.memOff("stq", "t0", int64(i-6)*8)
+		}
+	}
+	g.emit("\tbsr ra, %s", e.X.Global.Name)
+	g.emit("\tmov v0, t0")
+}
+
+func regName(i int) string {
+	return [6]string{"a0", "a1", "a2", "a3", "a4", "a5"}[i]
+}

@@ -1,0 +1,708 @@
+package cc
+
+import "fmt"
+
+type parser struct {
+	name    string
+	toks    []token
+	pos     int
+	structs map[string]*Type // tag -> struct type (shared, possibly incomplete)
+}
+
+// parse builds the AST for one translation unit.
+func parse(name string, toks []token) (*Program, error) {
+	p := &parser{name: name, toks: toks, structs: map[string]*Type{}}
+	prog := &Program{}
+	for !p.at(tokEOF) {
+		ds, err := p.topLevel()
+		if err != nil {
+			return nil, err
+		}
+		prog.Decls = append(prog.Decls, ds...)
+	}
+	return prog, nil
+}
+
+func (p *parser) tok() token        { return p.toks[p.pos] }
+func (p *parser) at(k tokKind) bool { return p.tok().kind == k }
+func (p *parser) next() token {
+	t := p.tok()
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) atText(s string) bool {
+	t := p.tok()
+	return (t.kind == tokPunct || t.kind == tokKeyword) && t.text == s
+}
+
+func (p *parser) accept(s string) bool {
+	if p.atText(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(s string) error {
+	if !p.accept(s) {
+		return p.errf("expected %q, found %s", s, p.tok())
+	}
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", p.name, p.tok().line, fmt.Sprintf(format, args...))
+}
+
+// atType reports whether the current token starts a type.
+func (p *parser) atType() bool {
+	t := p.tok()
+	if t.kind != tokKeyword {
+		return false
+	}
+	switch t.text {
+	case "char", "int", "long", "void", "struct", "unsigned", "const":
+		return true
+	}
+	return false
+}
+
+// baseType parses a type specifier (without declarator stars).
+func (p *parser) baseType() (*Type, error) {
+	p.accept("const") // ignored qualifier
+	switch {
+	case p.accept("void"):
+		return typeVoid, nil
+	case p.accept("char"):
+		return typeChar, nil
+	case p.accept("unsigned"):
+		// "unsigned long"/"unsigned int"/bare "unsigned" all map to long.
+		p.accept("long")
+		p.accept("int")
+		p.accept("char") // unsigned char == char here
+		return typeLong, nil
+	case p.accept("int"), p.accept("long"):
+		p.accept("int")  // "long int"
+		p.accept("long") // "long long"
+		return typeLong, nil
+	case p.accept("struct"):
+		if !p.at(tokIdent) {
+			return nil, p.errf("struct needs a tag")
+		}
+		tag := p.next().text
+		st, ok := p.structs[tag]
+		if !ok {
+			st = &Type{Kind: TypeStruct, StructName: tag, size: -1}
+			p.structs[tag] = st
+		}
+		if p.atText("{") {
+			if st.Fields != nil || st.size >= 0 {
+				return nil, p.errf("struct %s redefined", tag)
+			}
+			if err := p.structBody(st); err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+	}
+	return nil, p.errf("expected type, found %s", p.tok())
+}
+
+func (p *parser) structBody(st *Type) error {
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	for !p.accept("}") {
+		base, err := p.baseType()
+		if err != nil {
+			return err
+		}
+		for {
+			ft, name, err := p.declarator(base)
+			if err != nil {
+				return err
+			}
+			if name == "" {
+				return p.errf("struct field needs a name")
+			}
+			st.Fields = append(st.Fields, Field{Name: name, Type: ft})
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return err
+		}
+	}
+	if err := layoutStruct(st); err != nil {
+		return p.errf("%v", err)
+	}
+	return nil
+}
+
+// declarator parses "*"* name? ("[" n "]")* around a base type.
+func (p *parser) declarator(base *Type) (*Type, string, error) {
+	t := base
+	for p.accept("*") {
+		p.accept("const")
+		t = ptrTo(t)
+	}
+	name := ""
+	if p.at(tokIdent) {
+		name = p.next().text
+	}
+	// Array suffixes apply outermost-first: `long a[2][3]` is array 2 of
+	// array 3 of long.
+	var dims []int64
+	for p.accept("[") {
+		if p.atText("]") {
+			return nil, "", p.errf("array size required")
+		}
+		sz, err := p.constExpr()
+		if err != nil {
+			return nil, "", err
+		}
+		if sz <= 0 {
+			return nil, "", p.errf("array size must be positive")
+		}
+		dims = append(dims, sz)
+		if err := p.expect("]"); err != nil {
+			return nil, "", err
+		}
+	}
+	for i := len(dims) - 1; i >= 0; i-- {
+		t = arrayOf(t, dims[i])
+	}
+	return t, name, nil
+}
+
+// constExpr parses a constant integer expression usable in array bounds
+// and case labels: literals, character constants, sizeof(type), unary
+// minus, parentheses, and + - * / % << >> with the usual precedence.
+func (p *parser) constExpr() (int64, error) {
+	v, err := p.constAdd()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept("<<"):
+			op = "<<"
+		case p.accept(">>"):
+			op = ">>"
+		default:
+			return v, nil
+		}
+		rhs, err := p.constAdd()
+		if err != nil {
+			return 0, err
+		}
+		if op == "<<" {
+			v <<= uint64(rhs) & 63
+		} else {
+			v >>= uint64(rhs) & 63
+		}
+	}
+}
+
+func (p *parser) constAdd() (int64, error) {
+	v, err := p.constMul()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch {
+		case p.accept("+"):
+			rhs, err := p.constMul()
+			if err != nil {
+				return 0, err
+			}
+			v += rhs
+		case p.accept("-"):
+			rhs, err := p.constMul()
+			if err != nil {
+				return 0, err
+			}
+			v -= rhs
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *parser) constMul() (int64, error) {
+	v, err := p.constFactor()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept("*"):
+			op = "*"
+		case p.accept("/"):
+			op = "/"
+		case p.accept("%"):
+			op = "%"
+		default:
+			return v, nil
+		}
+		rhs, err := p.constFactor()
+		if err != nil {
+			return 0, err
+		}
+		if rhs == 0 && op != "*" {
+			return 0, p.errf("division by zero in constant expression")
+		}
+		switch op {
+		case "*":
+			v *= rhs
+		case "/":
+			v /= rhs
+		case "%":
+			v %= rhs
+		}
+	}
+}
+
+func (p *parser) constFactor() (int64, error) {
+	neg := false
+	for {
+		if p.accept("-") {
+			neg = !neg
+			continue
+		}
+		break
+	}
+	var v int64
+	switch {
+	case p.at(tokNumber), p.at(tokChar):
+		v = p.next().num
+	case p.accept("("):
+		inner, err := p.constExpr()
+		if err != nil {
+			return 0, err
+		}
+		if err := p.expect(")"); err != nil {
+			return 0, err
+		}
+		v = inner
+	case p.atText("sizeof"):
+		p.next()
+		if err := p.expect("("); err != nil {
+			return 0, err
+		}
+		base, err := p.baseType()
+		if err != nil {
+			return 0, err
+		}
+		t, _, err := p.declarator(base)
+		if err != nil {
+			return 0, err
+		}
+		if err := p.expect(")"); err != nil {
+			return 0, err
+		}
+		v = t.Size()
+	default:
+		return 0, p.errf("expected constant, found %s", p.tok())
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (p *parser) topLevel() ([]*Decl, error) {
+	extern := p.accept("extern")
+	static := p.accept("static")
+	if !extern {
+		extern = p.accept("extern")
+	}
+	base, err := p.baseType()
+	if err != nil {
+		return nil, err
+	}
+	// Bare "struct S { ... };" definition.
+	if p.accept(";") {
+		if base.Kind != TypeStruct {
+			return nil, p.errf("declaration needs a name")
+		}
+		return nil, nil
+	}
+	var out []*Decl
+	for {
+		line := p.tok().line
+		t, name, err := p.declarator(base)
+		if err != nil {
+			return nil, err
+		}
+		if name == "" {
+			return nil, p.errf("declaration needs a name")
+		}
+		if p.atText("(") {
+			// Function prototype or definition.
+			d, err := p.funcRest(t, name, line, extern, static)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, d)
+			if d.Body != nil {
+				return out, nil // definition ends the declaration list
+			}
+			if p.accept(",") {
+				continue
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			return out, nil
+		}
+		d := &Decl{Kind: DeclVar, Name: name, Type: t, Line: line, Extern: extern, Static: static}
+		if p.accept("=") {
+			init, err := p.initializer()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = init
+		}
+		out = append(out, d)
+		if p.accept(",") {
+			continue
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+}
+
+// initializer parses an expression or a brace-enclosed list.
+func (p *parser) initializer() (*Expr, error) {
+	if p.accept("{") {
+		e := &Expr{Kind: ExprInitList, Line: p.tok().line}
+		for !p.accept("}") {
+			item, err := p.initializer()
+			if err != nil {
+				return nil, err
+			}
+			e.Args = append(e.Args, item)
+			if !p.accept(",") {
+				if err := p.expect("}"); err != nil {
+					return nil, err
+				}
+				break
+			}
+		}
+		return e, nil
+	}
+	return p.assignExpr()
+}
+
+func (p *parser) funcRest(ret *Type, name string, line int, extern, static bool) (*Decl, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	ft := &Type{Kind: TypeFunc, Ret: ret}
+	var names []string
+	if p.accept(")") {
+		// K&R empty parameter list: treat as ().
+	} else if p.atText("void") && p.toks[p.pos+1].text == ")" {
+		p.next()
+		p.next()
+	} else {
+		for {
+			if p.accept("...") {
+				ft.Variadic = true
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				break
+			}
+			base, err := p.baseType()
+			if err != nil {
+				return nil, err
+			}
+			pt, pn, err := p.declarator(base)
+			if err != nil {
+				return nil, err
+			}
+			// Array parameters decay to pointers.
+			pt = pt.Decays()
+			ft.Params = append(ft.Params, pt)
+			names = append(names, pn)
+			if p.accept(",") {
+				continue
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	d := &Decl{Kind: DeclFunc, Name: name, Type: ft, Line: line, Extern: extern, Static: static, Params: names}
+	if p.atText("{") {
+		for i, n := range names {
+			if n == "" {
+				return nil, p.errf("parameter %d of %s needs a name", i, name)
+			}
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		d.Body = body
+	} else {
+		d.Extern = true
+	}
+	return d, nil
+}
+
+func (p *parser) block() (*Stmt, error) {
+	line := p.tok().line
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	s := &Stmt{Kind: StmtBlock, Line: line}
+	for !p.accept("}") {
+		if p.at(tokEOF) {
+			return nil, p.errf("unexpected end of file in block")
+		}
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		s.List = append(s.List, st)
+	}
+	return s, nil
+}
+
+func (p *parser) statement() (*Stmt, error) {
+	line := p.tok().line
+	switch {
+	case p.atText("{"):
+		return p.block()
+	case p.accept(";"):
+		return &Stmt{Kind: StmtEmpty, Line: line}, nil
+	case p.accept("if"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		s := &Stmt{Kind: StmtIf, Line: line, Expr: cond, Body: body}
+		if p.accept("else") {
+			s.Else, err = p.statement()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	case p.accept("while"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtWhile, Line: line, Expr: cond, Body: body}, nil
+	case p.accept("do"):
+		body, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("while"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtDoWhile, Line: line, Expr: cond, Body: body}, nil
+	case p.accept("for"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		s := &Stmt{Kind: StmtFor, Line: line}
+		if !p.atText(";") {
+			if p.atType() {
+				init, err := p.declStmt()
+				if err != nil {
+					return nil, err
+				}
+				s.Init = init
+			} else {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				s.Init = &Stmt{Kind: StmtExpr, Line: line, Expr: e}
+				if err := p.expect(";"); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			p.next()
+		}
+		if !p.atText(";") {
+			cond, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Expr = cond
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if !p.atText(")") {
+			post, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Post = post
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		s.Body = body
+		return s, nil
+	case p.accept("return"):
+		s := &Stmt{Kind: StmtReturn, Line: line}
+		if !p.atText(";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Expr = e
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case p.accept("break"):
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtBreak, Line: line}, nil
+	case p.accept("continue"):
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtContinue, Line: line}, nil
+	case p.accept("switch"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtSwitch, Line: line, Expr: cond, Body: body}, nil
+	case p.accept("case"):
+		v, err := p.constExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtCase, Line: line, CaseVal: v}, nil
+	case p.accept("default"):
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtCase, Line: line, IsDefault: true}, nil
+	case p.atType():
+		return p.declStmt()
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return &Stmt{Kind: StmtExpr, Line: line, Expr: e}, nil
+}
+
+// declStmt parses a local declaration: `type declarator (= expr)?
+// (, declarator (= expr)?)* ;` and produces a block of decl statements
+// when several variables are declared at once.
+func (p *parser) declStmt() (*Stmt, error) {
+	line := p.tok().line
+	base, err := p.baseType()
+	if err != nil {
+		return nil, err
+	}
+	var stmts []*Stmt
+	for {
+		t, name, err := p.declarator(base)
+		if err != nil {
+			return nil, err
+		}
+		if name == "" {
+			return nil, p.errf("declaration needs a name")
+		}
+		s := &Stmt{Kind: StmtDecl, Line: line, Decl: &Local{Name: name, Type: t}}
+		if p.accept("=") {
+			init, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.DeclInit = init
+		}
+		stmts = append(stmts, s)
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if len(stmts) == 1 {
+		return stmts[0], nil
+	}
+	return &Stmt{Kind: StmtBlock, Line: line, List: stmts, Transparent: true}, nil
+}

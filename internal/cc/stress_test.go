@@ -1,0 +1,210 @@
+package cc_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"atom/internal/vm"
+)
+
+// TestHugeFrame exercises frame offsets beyond the 16-bit displacement
+// range (the memOff large-offset path through the assembler temporary).
+func TestHugeFrame(t *testing.T) {
+	m, code := runProg(t, `
+#include <stdio.h>
+int main() {
+	long big[9000];   /* 72 KB frame */
+	long i;
+	for (i = 0; i < 9000; i++) big[i] = i * 3;
+	long s = 0;
+	for (i = 0; i < 9000; i += 1000) s += big[i];
+	char tail[32];
+	tail[0] = 'k'; tail[1] = 0;
+	printf("%d %s\n", s, tail);
+	return 0;
+}`, vm.Config{})
+	if string(m.Stdout) != "108000 k\n" || code != 0 {
+		t.Errorf("stdout=%q code=%d", m.Stdout, code)
+	}
+}
+
+// TestDeepExpressionSpill forces a deep evaluation stack: every operand
+// of the chain is a call, so each intermediate must be spilled around it.
+func TestDeepExpressionSpill(t *testing.T) {
+	m, _ := runProg(t, `
+#include <stdio.h>
+long one(long x) { return x; }
+int main() {
+	long r = one(1) + (one(2) * (one(3) + one(4) * (one(5) + one(6) * (one(7) +
+		one(8) * (one(9) + one(10))))));
+	printf("%d\n", r);
+	return 0;
+}`, vm.Config{})
+	want := fmt.Sprintf("%d\n", 1+2*(3+4*(5+6*(7+8*(9+10)))))
+	if string(m.Stdout) != want {
+		t.Errorf("stdout=%q want %q", m.Stdout, want)
+	}
+}
+
+// TestDivStrengthReduction checks /,% by power-of-two constants against
+// the general division routine, including negatives (C truncation).
+func TestDivStrengthReduction(t *testing.T) {
+	m, _ := runProg(t, `
+#include <stdio.h>
+long vals[8] = {7, -7, 1024, -1024, 0, 1, -1, 123456789};
+int main() {
+	long i;
+	for (i = 0; i < 8; i++) {
+		long v = vals[i];
+		long two = 2;
+		long sixteen = 16;
+		/* constant divisors use shifts; variable divisors use __divq */
+		if (v / 2 != v / two) { printf("div2 mismatch at %d\n", v); return 1; }
+		if (v % 2 != v % two) { printf("mod2 mismatch at %d\n", v); return 1; }
+		if (v / 16 != v / sixteen) { printf("div16 mismatch at %d\n", v); return 1; }
+		if (v % 16 != v % sixteen) { printf("mod16 mismatch at %d\n", v); return 1; }
+		if (v / 1 != v || v % 1 != 0) { printf("div1 mismatch\n"); return 1; }
+	}
+	printf("ok %d %d %d %d\n", -7 / 2, -7 % 2, -1024 / 16, 123456789 % 16);
+	return 0;
+}`, vm.Config{})
+	if string(m.Stdout) != "ok -3 -1 -64 5\n" {
+		t.Errorf("stdout=%q", m.Stdout)
+	}
+}
+
+// TestRecursionDepth exercises deep call stacks (stack grows down from
+// the text base; 1 MB available).
+func TestRecursionDepth(t *testing.T) {
+	m, code := runProg(t, `
+#include <stdio.h>
+long depth(long n) {
+	if (n == 0) return 0;
+	return 1 + depth(n - 1);
+}
+int main() {
+	printf("%d\n", depth(4000));
+	return 0;
+}`, vm.Config{})
+	if code != 0 || string(m.Stdout) != "4000\n" {
+		t.Errorf("stdout=%q code=%d", m.Stdout, code)
+	}
+}
+
+// TestSprintfAndStringBuild covers sprintf plus pointer-walking string
+// construction.
+func TestSprintfAndStringBuild(t *testing.T) {
+	m, _ := runProg(t, `
+#include <stdio.h>
+#include <string.h>
+int main() {
+	char buf[128];
+	sprintf(buf, "[%d|%s|%c|%x]", -42, "mid", 'Z', 48879);
+	printf("%s len=%d\n", buf, strlen(buf));
+	return 0;
+}`, vm.Config{})
+	if string(m.Stdout) != "[-42|mid|Z|beef] len=16\n" {
+		t.Errorf("stdout=%q", m.Stdout)
+	}
+}
+
+// TestGlobalInitExpressions checks constant folding in global
+// initializers, including addresses and arithmetic.
+func TestGlobalInitExpressions(t *testing.T) {
+	m, _ := runProg(t, `
+#include <stdio.h>
+long a = 3 * 7 + (1 << 4);
+long b = -(5 - 2);
+long c = sizeof(long) * 4;
+long arr[4] = {~0 & 0xff, 'A', 1 << 10};
+long target = 99;
+long *p = &target;
+char *s = "init";
+int main() {
+	printf("%d %d %d %d %d %d %d %s\n", a, b, c, arr[0], arr[1], arr[2], *p, s);
+	return 0;
+}`, vm.Config{})
+	if string(m.Stdout) != "37 -3 32 255 65 1024 99 init\n" {
+		t.Errorf("stdout=%q", m.Stdout)
+	}
+}
+
+// TestCharPointerAliasing stores through char* into a long and reads it
+// back (little-endian layout).
+func TestCharPointerAliasing(t *testing.T) {
+	m, _ := runProg(t, `
+#include <stdio.h>
+int main() {
+	long v = 0;
+	char *p = (char *)&v;
+	p[0] = 0x78; p[1] = 0x56; p[2] = 0x34; p[3] = 0x12;
+	printf("%x\n", v);
+	return 0;
+}`, vm.Config{})
+	if string(m.Stdout) != "12345678\n" {
+		t.Errorf("stdout=%q", m.Stdout)
+	}
+}
+
+// TestNestedStructArrays combines struct arrays, nested member chains and
+// pointer arithmetic over structs.
+func TestNestedStructArrays(t *testing.T) {
+	m, _ := runProg(t, `
+#include <stdio.h>
+struct inner { long x; char tag; };
+struct outer { struct inner in; long pad; struct inner *link; };
+struct outer os[4];
+int main() {
+	long i;
+	for (i = 0; i < 4; i++) {
+		os[i].in.x = i * 11;
+		os[i].in.tag = (char)('a' + i);
+		os[i].link = &os[(i + 1) % 4].in;
+	}
+	struct outer *p = &os[1];
+	printf("%d %c %d %d\n", p->in.x, p->in.tag, p->link->x, (&os[3] - &os[0]));
+	return 0;
+}`, vm.Config{})
+	if string(m.Stdout) != "11 b 22 3\n" {
+		t.Errorf("stdout=%q", m.Stdout)
+	}
+}
+
+// TestPreprocessorEdgeCases: macro bodies referencing other macros,
+// redefinition via later define, comments inside code.
+func TestPreprocessorEdgeCases(t *testing.T) {
+	m, _ := runProg(t, `
+#include <stdio.h>
+#define A 5
+#define B (A + 2)
+#define MSG "b=" /* adjacent literal concatenation */
+int main() {
+	/* block comment */ long x = B; // line comment
+	printf(MSG "%d\n", x);
+	return 0;
+}`, vm.Config{})
+	if string(m.Stdout) != "b=7\n" {
+		t.Errorf("stdout=%q", m.Stdout)
+	}
+}
+
+// TestShortCircuitGuards the classic null-guard idiom.
+func TestShortCircuitGuards(t *testing.T) {
+	m, _ := runProg(t, `
+#include <stdio.h>
+struct n { long v; struct n *next; };
+int main() {
+	struct n a; struct n b;
+	a.v = 1; a.next = &b;
+	b.v = 2; b.next = (struct n *)0;
+	struct n *p = &a;
+	long sum = 0;
+	while (p && p->v < 10) { sum += p->v; p = p->next; }
+	if (p == 0 && sum == 3) printf("ok\n");
+	return 0;
+}`, vm.Config{})
+	if !strings.Contains(string(m.Stdout), "ok") {
+		t.Errorf("stdout=%q", m.Stdout)
+	}
+}

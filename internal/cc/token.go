@@ -1,0 +1,357 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokChar
+	tokPunct // operators and punctuation, identified by text
+	tokKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64  // tokNumber, tokChar
+	str  []byte // tokString (unescaped, no NUL)
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of file"
+	case tokString:
+		return fmt.Sprintf("string %q", t.str)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+var keywords = map[string]bool{
+	"char": true, "int": true, "long": true, "void": true,
+	"struct": true, "if": true, "else": true, "while": true,
+	"for": true, "do": true, "return": true, "break": true,
+	"continue": true, "switch": true, "case": true, "default": true,
+	"sizeof": true, "extern": true, "static": true, "unsigned": true,
+	"const": true, "goto": true, "typedef": true, "enum": true,
+}
+
+// multi-char punctuation, longest first.
+var puncts = []string{
+	"<<=", ">>=", "...",
+	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+	"++", "--", "->",
+	"+", "-", "*", "/", "%", "&", "|", "^", "~", "!",
+	"=", "<", ">", "(", ")", "{", "}", "[", "]",
+	";", ",", ".", "?", ":",
+}
+
+type lexer struct {
+	name    string
+	src     string
+	pos     int
+	line    int
+	include map[string]string // header name -> contents
+	defines map[string][]token
+	toks    []token
+}
+
+// lex tokenizes src, handling the miniature preprocessor: #include of
+// known headers and object-like #define macros.
+func lex(name, src string, include map[string]string) ([]token, error) {
+	l := &lexer{name: name, include: include, defines: map[string][]token{}}
+	if err := l.file(src); err != nil {
+		return nil, err
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, line: l.line})
+	return l.toks, nil
+}
+
+func (l *lexer) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", l.name, line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) file(src string) error {
+	savedSrc, savedPos, savedLine := l.src, l.pos, l.line
+	l.src, l.pos, l.line = src, 0, 1
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			break
+		}
+		if l.src[l.pos] == '#' && l.atLineStart() {
+			if err := l.directive(); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := l.token(); err != nil {
+			return err
+		}
+	}
+	l.src, l.pos, l.line = savedSrc, savedPos, savedLine
+	return nil
+}
+
+func (l *lexer) atLineStart() bool {
+	for i := l.pos - 1; i >= 0; i-- {
+		switch l.src[i] {
+		case '\n':
+			return true
+		case ' ', '\t':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case strings.HasPrefix(l.src[l.pos:], "//"):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case strings.HasPrefix(l.src[l.pos:], "/*"):
+			l.pos += 2
+			for l.pos < len(l.src) && !strings.HasPrefix(l.src[l.pos:], "*/") {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			l.pos += 2
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) directive() error {
+	start := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+		l.pos++
+	}
+	lineText := strings.TrimSpace(l.src[start:l.pos])
+	line := l.line
+	switch {
+	case strings.HasPrefix(lineText, "#include"):
+		arg := strings.TrimSpace(strings.TrimPrefix(lineText, "#include"))
+		hdr := strings.Trim(arg, "<>\"")
+		body, ok := l.include[hdr]
+		if !ok {
+			return l.errf(line, "unknown header %q", hdr)
+		}
+		return l.file(body)
+	case strings.HasPrefix(lineText, "#define"):
+		rest := strings.TrimSpace(strings.TrimPrefix(lineText, "#define"))
+		i := strings.IndexAny(rest, " \t")
+		name, body := rest, ""
+		if i >= 0 {
+			name, body = rest[:i], strings.TrimSpace(rest[i+1:])
+		}
+		if name == "" || strings.Contains(name, "(") {
+			return l.errf(line, "only object-like #define supported")
+		}
+		sub := &lexer{name: l.name, include: l.include, defines: l.defines}
+		sub.line = line
+		if err := sub.file(body); err != nil {
+			return err
+		}
+		l.defines[name] = sub.toks
+		return nil
+	default:
+		return l.errf(line, "unknown preprocessor directive %q", lineText)
+	}
+}
+
+func (l *lexer) token() error {
+	c := l.src[l.pos]
+	line := l.line
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentCont(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		if body, ok := l.defines[text]; ok {
+			l.toks = append(l.toks, body...)
+			return nil
+		}
+		k := tokIdent
+		if keywords[text] {
+			k = tokKeyword
+		}
+		l.toks = append(l.toks, token{kind: k, text: text, line: line})
+		return nil
+
+	case c >= '0' && c <= '9':
+		start := l.pos
+		base := 10
+		if strings.HasPrefix(l.src[l.pos:], "0x") || strings.HasPrefix(l.src[l.pos:], "0X") {
+			base = 16
+			l.pos += 2
+		} else if c == '0' {
+			base = 8
+		}
+		for l.pos < len(l.src) && isNumCont(l.src[l.pos], base) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		var v uint64
+		digits := text
+		if base == 16 {
+			digits = text[2:]
+		}
+		for _, d := range []byte(digits) {
+			var dv uint64
+			switch {
+			case d >= '0' && d <= '9':
+				dv = uint64(d - '0')
+			case d >= 'a' && d <= 'f':
+				dv = uint64(d-'a') + 10
+			case d >= 'A' && d <= 'F':
+				dv = uint64(d-'A') + 10
+			}
+			v = v*uint64(base) + dv
+		}
+		// Swallow integer suffixes (L, UL, ...).
+		for l.pos < len(l.src) && (l.src[l.pos] == 'l' || l.src[l.pos] == 'L' || l.src[l.pos] == 'u' || l.src[l.pos] == 'U') {
+			l.pos++
+		}
+		l.toks = append(l.toks, token{kind: tokNumber, text: text, num: int64(v), line: line})
+		return nil
+
+	case c == '"':
+		b, err := l.cString()
+		if err != nil {
+			return err
+		}
+		l.toks = append(l.toks, token{kind: tokString, text: string(b), str: b, line: line})
+		return nil
+
+	case c == '\'':
+		l.pos++
+		if l.pos >= len(l.src) {
+			return l.errf(line, "unterminated character literal")
+		}
+		var v int64
+		if l.src[l.pos] == '\\' {
+			l.pos++
+			e, n, err := unescape(l.src[l.pos:])
+			if err != nil {
+				return l.errf(line, "%v", err)
+			}
+			v = int64(e)
+			l.pos += n
+		} else {
+			v = int64(l.src[l.pos])
+			l.pos++
+		}
+		if l.pos >= len(l.src) || l.src[l.pos] != '\'' {
+			return l.errf(line, "unterminated character literal")
+		}
+		l.pos++
+		l.toks = append(l.toks, token{kind: tokChar, text: "'" + string(rune(v)) + "'", num: v, line: line})
+		return nil
+	}
+
+	for _, p := range puncts {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			l.pos += len(p)
+			l.toks = append(l.toks, token{kind: tokPunct, text: p, line: line})
+			return nil
+		}
+	}
+	return l.errf(line, "unexpected character %q", c)
+}
+
+func (l *lexer) cString() ([]byte, error) {
+	line := l.line
+	l.pos++ // opening quote
+	var out []byte
+	for {
+		if l.pos >= len(l.src) {
+			return nil, l.errf(line, "unterminated string literal")
+		}
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			return out, nil
+		case '\n':
+			return nil, l.errf(line, "newline in string literal")
+		case '\\':
+			l.pos++
+			e, n, err := unescape(l.src[l.pos:])
+			if err != nil {
+				return nil, l.errf(line, "%v", err)
+			}
+			out = append(out, e)
+			l.pos += n
+		default:
+			out = append(out, c)
+			l.pos++
+		}
+	}
+}
+
+func unescape(s string) (byte, int, error) {
+	if s == "" {
+		return 0, 0, fmt.Errorf("trailing backslash")
+	}
+	switch s[0] {
+	case 'n':
+		return '\n', 1, nil
+	case 't':
+		return '\t', 1, nil
+	case 'r':
+		return '\r', 1, nil
+	case '0':
+		return 0, 1, nil
+	case '\\':
+		return '\\', 1, nil
+	case '\'':
+		return '\'', 1, nil
+	case '"':
+		return '"', 1, nil
+	}
+	return 0, 0, fmt.Errorf("unknown escape \\%c", s[0])
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+func isNumCont(c byte, base int) bool {
+	switch {
+	case c >= '0' && c <= '9':
+		return true
+	case base == 16 && (c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'):
+		return true
+	}
+	return false
+}

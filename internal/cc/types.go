@@ -1,0 +1,197 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeKind classifies a type.
+type TypeKind int
+
+const (
+	TypeVoid TypeKind = iota
+	TypeChar          // unsigned 8-bit
+	TypeLong          // 64-bit signed; `int` is an alias
+	TypePtr
+	TypeArray
+	TypeStruct
+	TypeFunc
+)
+
+// Type describes a MiniC type. Types are interned enough for pointer
+// comparison not to matter; use Same for equality.
+type Type struct {
+	Kind TypeKind
+	Elem *Type // Ptr, Array element
+	Len  int64 // Array length
+
+	// Struct fields.
+	StructName string
+	Fields     []Field
+	size       int64
+	align      int64
+
+	// Func.
+	Ret      *Type
+	Params   []*Type
+	Variadic bool
+}
+
+// Field is a struct member.
+type Field struct {
+	Name   string
+	Type   *Type
+	Offset int64
+}
+
+var (
+	typeVoid = &Type{Kind: TypeVoid}
+	typeChar = &Type{Kind: TypeChar}
+	typeLong = &Type{Kind: TypeLong}
+)
+
+func ptrTo(t *Type) *Type            { return &Type{Kind: TypePtr, Elem: t} }
+func arrayOf(t *Type, n int64) *Type { return &Type{Kind: TypeArray, Elem: t, Len: n} }
+
+// Size returns the size in bytes.
+func (t *Type) Size() int64 {
+	switch t.Kind {
+	case TypeChar:
+		return 1
+	case TypeLong, TypePtr:
+		return 8
+	case TypeArray:
+		return t.Elem.Size() * t.Len
+	case TypeStruct:
+		return t.size
+	}
+	return 0
+}
+
+// Align returns the natural alignment in bytes.
+func (t *Type) Align() int64 {
+	switch t.Kind {
+	case TypeChar:
+		return 1
+	case TypeLong, TypePtr:
+		return 8
+	case TypeArray:
+		return t.Elem.Align()
+	case TypeStruct:
+		return t.align
+	}
+	return 1
+}
+
+// IsInteger reports whether t is char or long.
+func (t *Type) IsInteger() bool { return t.Kind == TypeChar || t.Kind == TypeLong }
+
+// IsScalar reports whether t fits in a register (integer or pointer).
+func (t *Type) IsScalar() bool { return t.IsInteger() || t.Kind == TypePtr }
+
+// Decays returns the type after array-to-pointer decay.
+func (t *Type) Decays() *Type {
+	if t.Kind == TypeArray {
+		return ptrTo(t.Elem)
+	}
+	return t
+}
+
+// Same reports structural type equality.
+func (t *Type) Same(o *Type) bool {
+	if t == o {
+		return true
+	}
+	if t == nil || o == nil || t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TypePtr:
+		return t.Elem.Same(o.Elem)
+	case TypeArray:
+		return t.Len == o.Len && t.Elem.Same(o.Elem)
+	case TypeStruct:
+		return t.StructName == o.StructName
+	case TypeFunc:
+		if !t.Ret.Same(o.Ret) || len(t.Params) != len(o.Params) || t.Variadic != o.Variadic {
+			return false
+		}
+		for i := range t.Params {
+			if !t.Params[i].Same(o.Params[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the type in C-ish syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case TypeVoid:
+		return "void"
+	case TypeChar:
+		return "char"
+	case TypeLong:
+		return "long"
+	case TypePtr:
+		return t.Elem.String() + "*"
+	case TypeArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	case TypeStruct:
+		return "struct " + t.StructName
+	case TypeFunc:
+		var ps []string
+		for _, p := range t.Params {
+			ps = append(ps, p.String())
+		}
+		if t.Variadic {
+			ps = append(ps, "...")
+		}
+		return fmt.Sprintf("%s(%s)", t.Ret, strings.Join(ps, ", "))
+	}
+	return "<bad type>"
+}
+
+// layoutStruct assigns field offsets and computes size/alignment.
+func layoutStruct(t *Type) error {
+	var off, maxAlign int64 = 0, 1
+	seen := map[string]bool{}
+	for i := range t.Fields {
+		f := &t.Fields[i]
+		if seen[f.Name] {
+			return fmt.Errorf("duplicate field %q in struct %s", f.Name, t.StructName)
+		}
+		seen[f.Name] = true
+		a := f.Type.Align()
+		if a > maxAlign {
+			maxAlign = a
+		}
+		off = (off + a - 1) &^ (a - 1)
+		f.Offset = off
+		sz := f.Type.Size()
+		if sz <= 0 {
+			return fmt.Errorf("field %q of struct %s has incomplete type %s", f.Name, t.StructName, f.Type)
+		}
+		off += sz
+	}
+	t.align = maxAlign
+	t.size = (off + maxAlign - 1) &^ (maxAlign - 1)
+	if t.size == 0 {
+		t.size = maxAlign
+	}
+	return nil
+}
+
+// Field returns the named field.
+func (t *Type) Field(name string) (Field, bool) {
+	for _, f := range t.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}

@@ -1,0 +1,259 @@
+package cc
+
+// White-box tests of the compiler front end: lexer, parser, and type
+// machinery, independent of code generation.
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexAll(t *testing.T, src string) []token {
+	t.Helper()
+	toks, err := lex("u.c", src, map[string]string{"h.h": "#define FROMHDR 9\n"})
+	if err != nil {
+		t.Fatalf("lex: %v", err)
+	}
+	return toks
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks := lexAll(t, `x += 0x1F << 3; "str\n" 'a' ... -> >>=`)
+	var kinds []string
+	for _, tk := range toks {
+		if tk.kind == tokEOF {
+			break
+		}
+		kinds = append(kinds, tk.text)
+	}
+	want := []string{"x", "+=", "0x1F", "<<", "3", ";", `str` + "\n", "'a'", "...", "->", ">>="}
+	if len(kinds) != len(want) {
+		t.Fatalf("tokens = %q, want %q", kinds, want)
+	}
+	if toks[2].num != 0x1F {
+		t.Errorf("hex literal = %d", toks[2].num)
+	}
+	if toks[7].num != 'a' {
+		t.Errorf("char literal = %d", toks[7].num)
+	}
+}
+
+func TestLexerNumbers(t *testing.T) {
+	cases := map[string]int64{
+		"0":     0,
+		"42":    42,
+		"0x10":  16,
+		"017":   15, // octal
+		"7L":    7,
+		"9UL":   9,
+		"'\\n'": '\n',
+		"'\\0'": 0,
+	}
+	for src, want := range cases {
+		toks := lexAll(t, src)
+		if toks[0].num != want {
+			t.Errorf("lex(%q) = %d, want %d", src, toks[0].num, want)
+		}
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	toks := lexAll(t, "a /* multi\nline */ b // rest\n c")
+	var names []string
+	for _, tk := range toks {
+		if tk.kind == tokIdent {
+			names = append(names, tk.text)
+		}
+	}
+	if strings.Join(names, ",") != "a,b,c" {
+		t.Errorf("idents = %v", names)
+	}
+	// Line numbers survive comments.
+	if toks[2].line != 3 {
+		t.Errorf("c on line %d, want 3", toks[2].line)
+	}
+}
+
+func TestPreprocessorInclude(t *testing.T) {
+	toks := lexAll(t, "#include <h.h>\nFROMHDR")
+	if toks[0].kind != tokNumber || toks[0].num != 9 {
+		t.Errorf("macro from header not expanded: %+v", toks[0])
+	}
+	if _, err := lex("u.c", "#include <missing.h>\n", nil); err == nil {
+		t.Error("missing header accepted")
+	}
+	if _, err := lex("u.c", "#define F(x) x\n", nil); err == nil {
+		t.Error("function-like macro accepted")
+	}
+	if _, err := lex("u.c", "#pragma nope\n", nil); err == nil {
+		t.Error("unknown directive accepted")
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, "'x", `"bad \q esc"`, "`"} {
+		if _, err := lex("u.c", src, nil); err == nil {
+			t.Errorf("lex(%q) succeeded", src)
+		}
+	}
+}
+
+func parseSrc(t *testing.T, src string) *Program {
+	t.Helper()
+	toks, err := lex("u.c", src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := parse("u.c", toks)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return prog
+}
+
+func TestParseDeclarators(t *testing.T) {
+	prog := parseSrc(t, `
+long a;
+long *b;
+long **c;
+char d[10];
+long e[2][3];
+struct s { long x; };
+struct s f;
+struct s *g;
+long h(long p, char *q);
+`)
+	types := map[string]string{}
+	for _, d := range prog.Decls {
+		types[d.Name] = d.Type.String()
+	}
+	want := map[string]string{
+		"a": "long",
+		"b": "long*",
+		"c": "long**",
+		"d": "char[10]",
+		"e": "long[3][2]", // array 2 of array 3: printed inner-first
+		"f": "struct s",
+		"g": "struct s*",
+		"h": "long(long, char*)",
+	}
+	for name, w := range want {
+		if types[name] != w {
+			t.Errorf("%s: type %q, want %q", name, types[name], w)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"long ;", "needs a name"},
+		{"long a[];", "size required"},
+		{"long a[0];", "positive"},
+		{"struct { long x; } v;", "tag"},
+		{"struct s { long x; long x; }; int main(){return 0;}", "duplicate field"},
+		{"struct s { long x; }; struct s { long y; };", "redefined"},
+		{"int f(long) { return 0; }", "needs a name"},
+		{"int main() { if 1) return 0; }", `expected "("`},
+		{"int main() { return (1; }", `expected ")"`},
+		{"int main() { long x = ; }", "expected expression"},
+		{"int main() { do x++; while 1; }", `expected "("`},
+	}
+	for _, c := range cases {
+		toks, err := lex("u.c", c.src, nil)
+		if err == nil {
+			_, err = parse("u.c", toks)
+		}
+		if err == nil {
+			t.Errorf("parse(%q) succeeded, want %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("parse(%q) error %q, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestTypeSizes(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		size int64
+		al   int64
+	}{
+		{typeChar, 1, 1},
+		{typeLong, 8, 8},
+		{ptrTo(typeChar), 8, 8},
+		{arrayOf(typeLong, 7), 56, 8},
+		{arrayOf(arrayOf(typeChar, 3), 2), 6, 1},
+	}
+	for _, c := range cases {
+		if c.t.Size() != c.size || c.t.Align() != c.al {
+			t.Errorf("%s: size %d align %d, want %d/%d", c.t, c.t.Size(), c.t.Align(), c.size, c.al)
+		}
+	}
+}
+
+func TestStructLayoutPadding(t *testing.T) {
+	st := &Type{Kind: TypeStruct, StructName: "s", Fields: []Field{
+		{Name: "a", Type: typeChar},
+		{Name: "b", Type: typeLong},
+		{Name: "c", Type: typeChar},
+		{Name: "d", Type: arrayOf(typeChar, 3)},
+	}}
+	if err := layoutStruct(st); err != nil {
+		t.Fatal(err)
+	}
+	offs := map[string]int64{}
+	for _, f := range st.Fields {
+		offs[f.Name] = f.Offset
+	}
+	if offs["a"] != 0 || offs["b"] != 8 || offs["c"] != 16 || offs["d"] != 17 {
+		t.Errorf("offsets = %v", offs)
+	}
+	if st.Size() != 24 { // padded to 8
+		t.Errorf("size = %d, want 24", st.Size())
+	}
+}
+
+func TestTypeSame(t *testing.T) {
+	if !ptrTo(typeLong).Same(ptrTo(typeLong)) {
+		t.Error("identical pointer types differ")
+	}
+	if ptrTo(typeLong).Same(ptrTo(typeChar)) {
+		t.Error("long* == char*")
+	}
+	if arrayOf(typeLong, 2).Same(arrayOf(typeLong, 3)) {
+		t.Error("different array lengths equal")
+	}
+	f1 := &Type{Kind: TypeFunc, Ret: typeLong, Params: []*Type{typeLong}}
+	f2 := &Type{Kind: TypeFunc, Ret: typeLong, Params: []*Type{typeLong}, Variadic: true}
+	if f1.Same(f2) {
+		t.Error("variadic difference missed")
+	}
+}
+
+func TestConstExprParsing(t *testing.T) {
+	prog := parseSrc(t, `
+long a[3 * 4 + 2];
+long b[(1 << 6) / 4];
+long c[100 % 7];
+long d[sizeof(long) * 3];
+long e[16 - -2];
+`)
+	want := map[string]int64{"a": 14, "b": 16, "c": 2, "d": 24, "e": 18}
+	for _, decl := range prog.Decls {
+		if w, ok := want[decl.Name]; ok && decl.Type.Len != w {
+			t.Errorf("%s: length %d, want %d", decl.Name, decl.Type.Len, w)
+		}
+	}
+}
+
+func TestDecays(t *testing.T) {
+	arr := arrayOf(typeChar, 4)
+	d := arr.Decays()
+	if d.Kind != TypePtr || d.Elem.Kind != TypeChar {
+		t.Errorf("decay = %s", d)
+	}
+	if typeLong.Decays() != typeLong {
+		t.Error("scalar decayed")
+	}
+}

@@ -1,0 +1,259 @@
+// Package core implements ATOM itself: the tool-building framework from
+// "ATOM: A System for Building Customized Program Analysis Tools"
+// (Srivastava & Eustace, PLDI 1994).
+//
+// A tool supplies two things, exactly as in the paper:
+//
+//   - instrumentation routines (the Tool.Instrument function), which
+//     traverse the application — a program is a sequence of procedures,
+//     a procedure a sequence of basic blocks, a block a sequence of
+//     instructions — declare analysis-procedure prototypes
+//     (AddCallProto) and attach procedure calls before or after any
+//     program, procedure, basic block, or instruction (AddCallProgram,
+//     AddCallProc, AddCallBlock, AddCallInst), with arguments that may be
+//     integer constants, strings, arrays, run-time register contents
+//     (REGV), effective memory addresses (EffAddrValue), or branch
+//     outcomes (BrCondValue);
+//
+//   - analysis routines (Tool.Analysis), ordinary MiniC code compiled
+//     and linked into the final executable. They share no procedures or
+//     data with the application: each side gets its own copy of the
+//     runtime library, including its own sbrk.
+//
+// Instrument rewrites the application at link time using OM. Information
+// flows from the application to the analysis routines through plain
+// procedure calls — no interprocess communication, no trace files, no
+// shared-buffer dispatch, no simulation.
+//
+// Pristine behavior (paper, Section 4): application data, bss, stack and
+// heap addresses are unchanged — the analysis image lives in the gap
+// between the application's text and data segments, its bss converted to
+// zero-initialized data. Application text addresses change, but the
+// old<->new PC map is static and InstPC reports original addresses.
+// Register state is preserved by saving exactly the caller-save registers
+// the analysis routine's interprocedural data-flow summary says may be
+// modified, split between the call site (ra, argument registers, at) and
+// a per-routine wrapper (default) or save/restore code spliced into the
+// analysis routine itself (SaveInAnalysis, the paper's "higher
+// optimization option").
+package core
+
+import (
+	"fmt"
+
+	"atom/internal/aout"
+	"atom/internal/om"
+)
+
+// Tool is a complete ATOM tool: instrumentation routine plus analysis
+// sources.
+type Tool struct {
+	Name        string
+	Description string
+	// Analysis maps file names to MiniC source for the analysis routines.
+	Analysis map[string]string
+	// Instrument is the tool's instrumentation routine (the paper's
+	// Instrument(iargc, iargv)); it receives the traversal/insertion API.
+	Instrument func(q *Instrumentation) error
+}
+
+// SaveMode selects where caller-save registers are saved.
+type SaveMode int
+
+const (
+	// SaveWrapper interposes a generated wrapper per analysis procedure
+	// that saves/restores the summary registers. "This is the default
+	// mechanism" (paper, Section 4): the analysis code is unmodified, so
+	// source-level debugging keeps working.
+	SaveWrapper SaveMode = iota
+	// SaveInAnalysis splices the saves/restores into the analysis
+	// routines themselves and calls them directly — "more work but more
+	// efficient"; the paper's higher optimization option.
+	SaveInAnalysis
+)
+
+// Options control an instrumentation run.
+type Options struct {
+	Mode SaveMode
+	// HeapOffset selects the dynamic-memory scheme. Zero links the two
+	// sbrks (application and analysis allocate from one heap, each
+	// starting where the other left off). Non-zero partitions the heap:
+	// the analysis zone starts HeapOffset bytes past the heap base, so
+	// application heap addresses match the uninstrumented run. There is
+	// deliberately no runtime check that the application heap stays
+	// below the analysis zone, as in the paper.
+	HeapOffset uint64
+	// NoRegSummary disables the data-flow summary and saves every
+	// caller-save register around every call (ablation baseline).
+	NoRegSummary bool
+	// LiveRegOpt enables the live-register refinement the paper lists as
+	// future work: registers provably dead at a site (overwritten before
+	// any read in the remainder of its basic block) are not saved there.
+	LiveRegOpt bool
+	// ToolArgs are passed to the instrumentation routine (iargc/iargv).
+	ToolArgs []string
+}
+
+// Stats reports what an instrumentation run did.
+type Stats struct {
+	Calls         int    // inserted call sites
+	InsertedInsts int    // total spliced instructions in the application
+	OrigText      uint64 // application text before instrumentation
+	InstrText     uint64 // application text after instrumentation
+	AnalysisText  uint64 // analysis image text size
+	AnalysisData  uint64 // analysis image data size (bss folded in)
+	// Figure 4 landmarks of the final executable.
+	AnalysisTextAddr uint64
+	AnalysisDataAddr uint64
+}
+
+// Result is an instrumented executable plus metadata.
+type Result struct {
+	// Exe is the instrumented program. Run it with the VM's
+	// AnalysisHeapOffset set to HeapOffset.
+	Exe        *aout.File
+	HeapOffset uint64
+	// PCMap exposes the static old<->new text address maps.
+	PCMap *om.Layout
+	Stats Stats
+}
+
+// Instrument applies a tool to a fully linked application (which must
+// retain symbols and relocations) and produces the instrumented
+// executable. This is the paper's
+//
+//	atom prog inst.c anal.c -o prog.atom
+//
+// step: the custom tool is Tool, prog is app, and the result is the
+// final organized executable.
+func Instrument(app *aout.File, tool Tool, opts Options) (*Result, error) {
+	if tool.Instrument == nil {
+		return nil, fmt.Errorf("atom: tool %q has no instrumentation routine", tool.Name)
+	}
+	prog, err := om.Build(app)
+	if err != nil {
+		return nil, err
+	}
+	q := &Instrumentation{
+		prog:   prog,
+		protos: map[string]*Proto{},
+		args:   opts.ToolArgs,
+	}
+	if err := tool.Instrument(q); err != nil {
+		return nil, fmt.Errorf("atom: instrumentation routine for %q: %w", tool.Name, err)
+	}
+
+	ai, err := compileAnalysis(q, tool.Analysis)
+	if err != nil {
+		return nil, err
+	}
+	if err := ai.prepare(q, opts); err != nil {
+		return nil, err
+	}
+
+	// Attach the call-site templates to the application IR. Within one
+	// insertion point calls run in the order they were added, except that
+	// ProgramBefore calls always precede (and ProgramAfter calls always
+	// follow) other instrumentation sharing their instruction: analysis
+	// state must be initialized before the first block/instruction event
+	// at the entry point fires, and final reports must observe the last
+	// events at exit.
+	ordered := make([]*callReq, 0, len(q.journal))
+	for _, r := range q.journal {
+		if r.level == levelProgram && r.when == Before {
+			ordered = append(ordered, r)
+		}
+	}
+	for _, r := range q.journal {
+		if r.level != levelProgram {
+			ordered = append(ordered, r)
+		}
+	}
+	for _, r := range q.journal {
+		if r.level == levelProgram && r.when == After {
+			ordered = append(ordered, r)
+		}
+	}
+
+	stats := Stats{Calls: len(q.journal), OrigText: uint64(len(app.Text))}
+	for _, req := range ordered {
+		target := req.proto.Name
+		if opts.Mode == SaveWrapper {
+			target = WrapperName(target)
+		}
+		var dead om.RegSet
+		if opts.LiveRegOpt {
+			dead = deadAtSite(req.inst, req.place)
+		}
+		code, err := buildSite(req, target, dead)
+		if err != nil {
+			return nil, err
+		}
+		stats.InsertedInsts += len(code.Insts)
+		if req.place == Before {
+			req.inst.Before = append(req.inst.Before, code)
+		} else {
+			req.inst.After = append(req.inst.After, code)
+		}
+	}
+
+	// Lay out the instrumented application, then link the analysis image
+	// right behind it (Figure 4).
+	lay := prog.Layout()
+	stats.InstrText = lay.TextSize()
+	analysisBase := (app.TextAddr + lay.TextSize() + 15) &^ 15
+	if err := ai.linkFinal(q, opts, analysisBase); err != nil {
+		return nil, err
+	}
+	img := ai.final
+	stats.AnalysisText = uint64(len(img.Text))
+	stats.AnalysisData = uint64(len(img.Data))
+	stats.AnalysisTextAddr = img.TextAddr
+	stats.AnalysisDataAddr = img.DataAddr
+
+	imgEnd := img.DataAddr + uint64(len(img.Data))
+	if imgEnd > app.DataAddr {
+		return nil, fmt.Errorf(
+			"atom: instrumented text (%#x) plus analysis image (text %#x, data %#x) ends at %#x, beyond the application data segment at %#x; rebuild the application with a larger text-data gap",
+			lay.TextSize(), len(img.Text), len(img.Data), imgEnd, app.DataAddr)
+	}
+
+	// Resolve inserted references against the analysis image's globals.
+	globals := map[string]uint64{}
+	for _, s := range img.Symbols {
+		if s.Global && s.Section != aout.SecUndef {
+			globals[s.Name] = s.Value
+		}
+	}
+	res, err := lay.Finish(func(name string) (uint64, bool) {
+		v, ok := globals[name]
+		return v, ok
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Compose the final executable: instrumented application text, then
+	// the analysis text and data in the gap, then the application's
+	// (unmoved) data and bss.
+	text := make([]byte, imgEnd-app.TextAddr)
+	copy(text, res.Text)
+	copy(text[img.TextAddr-app.TextAddr:], img.Text)
+	copy(text[img.DataAddr-app.TextAddr:], img.Data)
+
+	symbols := append([]aout.Symbol(nil), res.Symbols...)
+	symbols = append(symbols, img.Symbols...)
+
+	out := &aout.File{
+		Linked:   true,
+		Entry:    res.Entry,
+		Text:     text,
+		TextAddr: app.TextAddr,
+		Data:     res.Data,
+		DataAddr: app.DataAddr,
+		Bss:      app.Bss,
+		BssAddr:  app.BssAddr,
+		Symbols:  symbols,
+	}
+	return &Result{Exe: out, HeapOffset: opts.HeapOffset, PCMap: lay, Stats: stats}, nil
+}

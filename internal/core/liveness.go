@@ -1,0 +1,86 @@
+package core
+
+import (
+	"atom/internal/alpha"
+	"atom/internal/om"
+)
+
+// Live-register analysis at instrumentation sites — the refinement the
+// paper leaves as future work ("The number of registers that need to be
+// saved may be further reduced by computing live registers in the
+// application program ... Only the live registers need to be saved and
+// restored to preserve the state of the program execution"). Enabled by
+// Options.LiveRegOpt and ablated by BenchmarkLiveReg.
+//
+// The implementation is intentionally conservative and purely local: a
+// register is considered dead at a site only when the *remainder of the
+// same basic block* overwrites it before reading it. At a block boundary
+// everything still unknown is assumed live (successors may read it), so
+// no interprocedural or even global analysis is needed for soundness.
+// The big winner in practice is ra: every block that ends in a bsr kills
+// ra without reading it, so sites in such blocks skip the ra save the
+// paper otherwise always pays.
+
+// deadAtSite returns the set of caller-save registers whose application
+// values are provably dead at the given insertion point. place selects
+// whether the spliced code runs before the instruction (the instruction's
+// own reads still happen afterwards and count) or after it.
+func deadAtSite(in *om.Inst, place When) om.RegSet {
+	b := in.Block()
+	// Find the instruction's index within its block.
+	idx := -1
+	for k, i := range b.Insts {
+		if i == in {
+			idx = k
+			break
+		}
+	}
+	if idx < 0 {
+		return 0
+	}
+	start := idx
+	if place == After {
+		start = idx + 1
+	}
+
+	var read, written om.RegSet
+	var regs []alpha.Reg
+	for k := start; k < len(b.Insts); k++ {
+		i := b.Insts[k].I
+		// Reads first: a read of a not-yet-overwritten register makes it
+		// live.
+		regs = i.ReadsRegs(regs[:0])
+		for _, r := range regs {
+			if !written.Has(r) {
+				read = read.Add(r)
+			}
+		}
+		// call_pal reads a0..a2 implicitly (service arguments) and may
+		// read anything in principle; treat it as reading all registers
+		// not yet overwritten.
+		if i.Op == alpha.OpCallPal {
+			for _, r := range alpha.CallerSaveRegs() {
+				if !written.Has(r) {
+					read = read.Add(r)
+				}
+			}
+			break
+		}
+		// A call transfers to code outside the block: everything not yet
+		// overwritten may be read by the callee or after return.
+		if i.Op.IsCall() || i.Op == alpha.OpJmp || i.Op == alpha.OpRet {
+			// The call's own write (ra for bsr/jsr) still kills the old
+			// value first.
+			if w, ok := i.WritesReg(); ok && w.IsCallerSave() && !read.Has(w) {
+				written = written.Add(w)
+			}
+			break
+		}
+		if w, ok := i.WritesReg(); ok && w.IsCallerSave() && !read.Has(w) {
+			written = written.Add(w)
+		}
+	}
+	// Dead = overwritten before any read. Registers neither read nor
+	// written in the remainder of the block are unknown, hence live.
+	return written &^ read
+}

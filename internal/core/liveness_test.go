@@ -1,0 +1,77 @@
+package core_test
+
+import (
+	"testing"
+
+	"atom/internal/core"
+	"atom/internal/spec"
+	"atom/internal/tools"
+	"atom/internal/vm"
+)
+
+// TestLiveRegOptPreservesBehavior runs several tools over suite programs
+// with and without the live-register refinement: outputs must be
+// identical and the optimized run strictly cheaper.
+func TestLiveRegOptPreservesBehavior(t *testing.T) {
+	for _, tc := range []struct{ tool, prog string }{
+		{"branch", "queens"},
+		{"cache", "eqntott"},
+		{"dyninst", "tomcatv"},
+		{"gprof", "spice"},
+	} {
+		tc := tc
+		t.Run(tc.tool+"/"+tc.prog, func(t *testing.T) {
+			exe, err := spec.Build(tc.prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tool, _ := tools.ByName(tc.tool)
+			var outs [2]string
+			var icounts [2]uint64
+			for i, opt := range []bool{false, true} {
+				res, err := core.Instrument(exe, tool, core.Options{LiveRegOpt: opt})
+				if err != nil {
+					t.Fatal(err)
+				}
+				p, _ := spec.ByName(tc.prog)
+				m, err := vm.New(res.Exe, vm.Config{Stdin: p.Stdin, FS: p.FS, MaxInstr: 2_000_000_000})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := m.Run(); err != nil {
+					t.Fatalf("opt=%v: %v", opt, err)
+				}
+				outs[i] = string(m.Stdout) + "|" + string(m.FSOut[tc.tool+".out"])
+				icounts[i] = m.Icount
+			}
+			if outs[0] != outs[1] {
+				t.Errorf("live-register optimization changed behavior:\n%s\nvs\n%s", outs[0], outs[1])
+			}
+			if icounts[1] >= icounts[0] {
+				t.Errorf("optimized run not cheaper: %d vs %d", icounts[1], icounts[0])
+			} else {
+				t.Logf("saved %.1f%% of instructions (%d -> %d)",
+					100*(1-float64(icounts[1])/float64(icounts[0])), icounts[0], icounts[1])
+			}
+		})
+	}
+}
+
+// TestDeadAtSiteRASkipped: in a block ending with a call, ra is dead at
+// earlier sites and the branch tool's site template shrinks.
+func TestLiveRegSmallerTemplates(t *testing.T) {
+	app := buildApp(t, loopApp)
+	tool, _ := tools.ByName("dyninst")
+	base, err := core.Instrument(app, tool, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := core.Instrument(app, tool, core.Options{LiveRegOpt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Stats.InsertedInsts >= base.Stats.InsertedInsts {
+		t.Errorf("live-reg inserted %d insts, baseline %d; expected fewer",
+			opt.Stats.InsertedInsts, base.Stats.InsertedInsts)
+	}
+}

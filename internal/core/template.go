@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+
+	"atom/internal/alpha"
+	"atom/internal/aout"
+	"atom/internal/om"
+)
+
+// Call-site code generation. ATOM "does not steal any registers from the
+// application program. It allocates space on the stack before the call,
+// saves registers that may be modified during the call, restores the
+// saved registers after the call and deallocates the stack space"
+// (Section 4). The inserted sequence at each site:
+//
+//	lda   sp, -frame(sp)
+//	stq   <site-saved regs>, ...(sp)      ; ra, the arg registers this
+//	                                      ; call writes, and at if used
+//	<materialize stack args via at>       ; calls with > 6 arguments
+//	<materialize a0..a5>                  ; constants, REGV, VALUEs
+//	bsr   ra, <wrapper or analysis proc>
+//	ldq   <site-saved regs>, ...(sp)
+//	lda   sp, frame(sp)
+//
+// The remaining caller-save registers in the analysis routine's data-flow
+// summary are saved by its wrapper (default) or by save/restore code
+// spliced into the analysis routine itself (OptInAnalysis).
+
+// siteTemplate generates the spliced code for one call.
+type siteBuilder struct {
+	req    *callReq
+	target string // symbol to call (wrapper or analysis proc)
+	insts  []alpha.Inst
+	relocs []om.CodeReloc
+
+	saved     om.RegSet           // registers saved at this site
+	slot      map[alpha.Reg]int64 // register -> frame offset of its slot
+	frame     int64
+	outBytes  int64
+	clobbered om.RegSet // argument registers already overwritten
+}
+
+func buildSite(req *callReq, target string, dead om.RegSet) (om.Code, error) {
+	b := &siteBuilder{req: req, target: target, slot: map[alpha.Reg]int64{}}
+
+	nargs := len(req.args)
+	nreg := nargs
+	if nreg > alpha.MaxRegArgs {
+		nreg = alpha.MaxRegArgs
+	}
+	b.outBytes = int64(nargs-nreg) * 8
+
+	// Decide the save set: ra is always saved ("the return address
+	// register is always modified when a call is made so we always save
+	// the return address register"); every argument register this site
+	// writes; and at when the template needs a scratch register.
+	b.saved = b.saved.Add(alpha.RA)
+	argRegs := alpha.ArgRegs()
+	for i := 0; i < nreg; i++ {
+		b.saved = b.saved.Add(argRegs[i])
+	}
+	needAT := nargs > alpha.MaxRegArgs
+	if needAT {
+		b.saved = b.saved.Add(alpha.AT)
+	}
+
+	// Live-register refinement (Options.LiveRegOpt): drop saves of
+	// registers whose application values are dead at this site — except
+	// registers the template itself must read as argument sources after
+	// clobbering them (their save slot doubles as the source copy).
+	if dead != 0 {
+		var sources om.RegSet
+		for _, a := range req.args {
+			switch a.kind {
+			case argRegV:
+				sources = sources.Add(a.reg)
+			case argEffAddr:
+				sources = sources.Add(req.inst.I.Rb)
+			case argBrCond:
+				sources = sources.Add(req.inst.I.Ra)
+			}
+		}
+		b.saved &^= dead &^ sources
+	}
+
+	// Assign slots.
+	off := b.outBytes
+	for _, r := range b.saved.Regs() {
+		b.slot[r] = off
+		off += 8
+	}
+	b.frame = (off + 15) &^ 15
+	if b.frame > 0x7FFF {
+		return om.Code{}, fmt.Errorf("atom: call frame too large (%d args)", nargs)
+	}
+
+	// Prologue: allocate, save.
+	b.emit(alpha.Mem(alpha.OpLda, alpha.SP, alpha.SP, int32(-b.frame)))
+	for _, r := range b.saved.Regs() {
+		b.emit(alpha.Mem(alpha.OpStq, r, alpha.SP, int32(b.slot[r])))
+	}
+
+	// Stack arguments first (they use at as scratch, and their register
+	// sources are still pristine).
+	for i := alpha.MaxRegArgs; i < nargs; i++ {
+		if err := b.materialize(req.args[i], alpha.AT); err != nil {
+			return om.Code{}, err
+		}
+		b.emit(alpha.Mem(alpha.OpStq, alpha.AT, alpha.SP, int32(int64(i-alpha.MaxRegArgs)*8)))
+	}
+	if needAT {
+		// at no longer holds the application's value; later reads of it
+		// (REGV(at), effective addresses based on at) use the save slot.
+		b.clobbered = b.clobbered.Add(alpha.AT)
+	}
+	// Register arguments in ascending order; sources that are argument
+	// registers already overwritten are reloaded from their save slots.
+	for i := 0; i < nreg; i++ {
+		if err := b.materialize(req.args[i], argRegs[i]); err != nil {
+			return om.Code{}, err
+		}
+		b.clobbered = b.clobbered.Add(argRegs[i])
+	}
+
+	// The call. A PC-relative bsr reaches the analysis image, which ATOM
+	// places directly after the instrumented text; Finish range-checks.
+	b.relocs = append(b.relocs, om.CodeReloc{Index: len(b.insts), Type: aout.RelBr21, Sym: target})
+	b.emit(alpha.Br(alpha.OpBsr, alpha.RA, 0))
+
+	// Epilogue: restore, deallocate.
+	for _, r := range b.saved.Regs() {
+		b.emit(alpha.Mem(alpha.OpLdq, r, alpha.SP, int32(b.slot[r])))
+	}
+	b.emit(alpha.Mem(alpha.OpLda, alpha.SP, alpha.SP, int32(b.frame)))
+
+	return om.Code{Insts: b.insts, Relocs: b.relocs}, nil
+}
+
+func (b *siteBuilder) emit(i alpha.Inst) { b.insts = append(b.insts, i) }
+
+// source yields the register holding the current value of app register r,
+// reloading from the save slot when r has been overwritten by earlier
+// argument setup. dst is used as the reload target.
+func (b *siteBuilder) source(r alpha.Reg, dst alpha.Reg) alpha.Reg {
+	if b.clobbered.Has(r) {
+		b.emit(alpha.Mem(alpha.OpLdq, dst, alpha.SP, int32(b.slot[r])))
+		return dst
+	}
+	return r
+}
+
+// materialize computes one argument value into dst.
+func (b *siteBuilder) materialize(a arg, dst alpha.Reg) error {
+	in := b.req.inst
+	switch a.kind {
+	case argConst:
+		for _, i := range alpha.MaterializeImm(dst, a.num) {
+			b.emit(i)
+		}
+
+	case argBlobAddr:
+		b.relocs = append(b.relocs,
+			om.CodeReloc{Index: len(b.insts), Type: aout.RelHi16, Sym: blobSym(a.blob)},
+			om.CodeReloc{Index: len(b.insts) + 1, Type: aout.RelLo16, Sym: blobSym(a.blob)},
+		)
+		b.emit(alpha.Mem(alpha.OpLdah, dst, alpha.Zero, 0))
+		b.emit(alpha.Mem(alpha.OpLda, dst, dst, 0))
+
+	case argRegV:
+		switch {
+		case a.reg == alpha.SP:
+			// The application's sp is the current sp plus our frame.
+			b.emit(alpha.Mem(alpha.OpLda, dst, alpha.SP, int32(b.frame)))
+		case a.reg == alpha.Zero:
+			b.emit(alpha.Mem(alpha.OpLda, dst, alpha.Zero, 0))
+		default:
+			src := b.source(a.reg, dst)
+			if src != dst {
+				b.emit(alpha.Mov(src, dst))
+			}
+		}
+
+	case argEffAddr:
+		base := in.I.Rb
+		switch {
+		case base == alpha.SP:
+			disp := int64(in.I.Disp) + b.frame
+			if disp >= -0x8000 && disp <= 0x7FFF {
+				b.emit(alpha.Mem(alpha.OpLda, dst, alpha.SP, int32(disp)))
+			} else {
+				for _, i := range alpha.MaterializeImm(dst, disp) {
+					b.emit(i)
+				}
+				b.emit(alpha.RR(alpha.OpAddq, alpha.SP, dst, dst))
+			}
+		case base == alpha.Zero:
+			b.emit(alpha.Mem(alpha.OpLda, dst, alpha.Zero, in.I.Disp))
+		default:
+			src := b.source(base, dst)
+			b.emit(alpha.Mem(alpha.OpLda, dst, src, in.I.Disp))
+		}
+
+	case argBrCond:
+		src := b.source(in.I.Ra, dst)
+		if in.I.Ra == alpha.Zero {
+			src = alpha.Zero
+		}
+		switch in.I.Op {
+		case alpha.OpBeq:
+			b.emit(alpha.RI(alpha.OpCmpeq, src, 0, dst))
+		case alpha.OpBne:
+			b.emit(alpha.RI(alpha.OpCmpeq, src, 0, dst))
+			b.emit(alpha.RI(alpha.OpXor, dst, 1, dst))
+		case alpha.OpBlt:
+			b.emit(alpha.RI(alpha.OpCmplt, src, 0, dst))
+		case alpha.OpBle:
+			b.emit(alpha.RI(alpha.OpCmple, src, 0, dst))
+		case alpha.OpBgt:
+			b.emit(alpha.RR(alpha.OpCmplt, alpha.Zero, src, dst))
+		case alpha.OpBge:
+			b.emit(alpha.RR(alpha.OpCmple, alpha.Zero, src, dst))
+		case alpha.OpBlbs:
+			b.emit(alpha.RI(alpha.OpAnd, src, 1, dst))
+		case alpha.OpBlbc:
+			b.emit(alpha.RI(alpha.OpAnd, src, 1, dst))
+			b.emit(alpha.RI(alpha.OpXor, dst, 1, dst))
+		default:
+			return fmt.Errorf("atom: BrCondValue on %s", in.I.Op)
+		}
+
+	default:
+		return fmt.Errorf("atom: unknown argument kind %d", a.kind)
+	}
+	return nil
+}
+
+func blobSym(i int) string { return fmt.Sprintf("atom$const%d", i) }

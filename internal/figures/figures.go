@@ -1,0 +1,247 @@
+// Package figures regenerates the paper's evaluation artifacts:
+//
+//   - Figure 5: time for ATOM to instrument the 20-program suite with
+//     each of the 11 tools (total and per-program average);
+//   - Figure 6: execution time of each instrumented program relative to
+//     its uninstrumented run, per tool.
+//
+// "Time" for Figure 6 is the machine's deterministic retired-instruction
+// count — the reproduction's clock — with wall-clock reported alongside.
+// Reference columns carry the paper's published numbers so the shape of
+// the result (which tools are expensive, by roughly what factor) can be
+// compared directly.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+
+	"atom/internal/core"
+	"atom/internal/spec"
+	"atom/internal/tools"
+	"atom/internal/vm"
+)
+
+// PaperFig5 holds the published per-tool instrumentation times (seconds,
+// DEC 3000/400): total over 20 SPEC92 programs and the average.
+var PaperFig5 = map[string]struct{ Total, Avg float64 }{
+	"branch":  {110.46, 5.52},
+	"cache":   {120.58, 6.03},
+	"dyninst": {126.31, 6.32},
+	"gprof":   {113.24, 5.66},
+	"inline":  {146.50, 7.33},
+	"io":      {121.60, 6.08},
+	"malloc":  {97.93, 4.90},
+	"pipe":    {257.48, 12.87},
+	"prof":    {122.53, 6.13},
+	"syscall": {120.53, 6.03},
+	"unalign": {135.61, 6.78},
+}
+
+// PaperFig6 holds the published execution-time ratios (instrumented /
+// uninstrumented) with the paper's instrumentation-point descriptions
+// and argument counts.
+var PaperFig6 = map[string]struct {
+	Points string
+	Args   int
+	Ratio  float64
+}{
+	"branch":  {"each conditional branch", 3, 3.03},
+	"cache":   {"each memory reference", 1, 11.84},
+	"dyninst": {"each basic block", 3, 2.91},
+	"gprof":   {"each procedure/each basic block", 2, 2.70},
+	"inline":  {"each call site", 1, 1.03},
+	"io":      {"before/after write procedure", 4, 1.01},
+	"malloc":  {"before/after malloc procedure", 1, 1.02},
+	"pipe":    {"each basic block", 2, 1.80},
+	"prof":    {"each procedure/each basic block", 2, 2.33},
+	"syscall": {"before/after each system call", 2, 1.01},
+	"unalign": {"each basic block", 3, 2.93},
+}
+
+// Fig5Row is one Figure 5 line.
+type Fig5Row struct {
+	Tool        string
+	Description string
+	Total       time.Duration // wall time to instrument the whole suite
+	Avg         time.Duration
+	Programs    int
+}
+
+// Fig5 instruments the given suite programs (all 20 when names is empty)
+// with every tool and measures instrumentation time (ATOM processing plus
+// the tool's instrumentation routine, exactly the paper's definition).
+func Fig5(names []string, progress io.Writer) ([]Fig5Row, error) {
+	if len(names) == 0 {
+		for _, p := range spec.Suite() {
+			names = append(names, p.Name)
+		}
+	}
+	// Warm the build cache outside the timers.
+	for _, pn := range names {
+		if _, err := spec.Build(pn); err != nil {
+			return nil, err
+		}
+	}
+	var rows []Fig5Row
+	for _, tname := range tools.Names() {
+		tool, _ := tools.ByName(tname)
+		start := time.Now()
+		for _, pn := range names {
+			exe, err := spec.Build(pn)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := core.Instrument(exe, tool, core.Options{}); err != nil {
+				return nil, fmt.Errorf("fig5: %s on %s: %w", tname, pn, err)
+			}
+		}
+		total := time.Since(start)
+		rows = append(rows, Fig5Row{
+			Tool:        tname,
+			Description: tool.Description,
+			Total:       total,
+			Avg:         total / time.Duration(len(names)),
+			Programs:    len(names),
+		})
+		if progress != nil {
+			fmt.Fprintf(progress, "fig5: %-8s %v\n", tname, total.Round(time.Millisecond))
+		}
+	}
+	return rows, nil
+}
+
+// Fig6Row is one Figure 6 line.
+type Fig6Row struct {
+	Tool     string
+	Points   string  // instrumentation points, as described in the paper
+	Args     int     // number of arguments passed at each point
+	Ratio    float64 // geometric-mean instruction ratio across the suite
+	MinRatio float64
+	MaxRatio float64
+}
+
+var (
+	baseMu    sync.Mutex
+	baseCache = map[string]uint64{} // program -> uninstrumented icount
+)
+
+// baselineIcount runs a program uninstrumented (cached).
+func baselineIcount(name string) (uint64, error) {
+	baseMu.Lock()
+	defer baseMu.Unlock()
+	if v, ok := baseCache[name]; ok {
+		return v, nil
+	}
+	exe, err := spec.Build(name)
+	if err != nil {
+		return 0, err
+	}
+	p, _ := spec.ByName(name)
+	m, err := vm.New(exe, vm.Config{Stdin: p.Stdin, FS: p.FS})
+	if err != nil {
+		return 0, err
+	}
+	if _, err := m.Run(); err != nil {
+		return 0, fmt.Errorf("fig6: baseline %s: %w", name, err)
+	}
+	baseCache[name] = m.Icount
+	return m.Icount, nil
+}
+
+// RatioFor measures one tool on one program and returns the
+// instrumented/uninstrumented instruction ratio.
+func RatioFor(toolName, progName string, opts core.Options) (float64, error) {
+	base, err := baselineIcount(progName)
+	if err != nil {
+		return 0, err
+	}
+	exe, err := spec.Build(progName)
+	if err != nil {
+		return 0, err
+	}
+	tool, ok := tools.ByName(toolName)
+	if !ok {
+		return 0, fmt.Errorf("fig6: unknown tool %q", toolName)
+	}
+	res, err := core.Instrument(exe, tool, opts)
+	if err != nil {
+		return 0, fmt.Errorf("fig6: %s on %s: %w", toolName, progName, err)
+	}
+	p, _ := spec.ByName(progName)
+	m, err := vm.New(res.Exe, vm.Config{
+		Stdin:              p.Stdin,
+		FS:                 p.FS,
+		AnalysisHeapOffset: res.HeapOffset,
+		MaxInstr:           4_000_000_000,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if _, err := m.Run(); err != nil {
+		return 0, fmt.Errorf("fig6: %s on %s: %w", toolName, progName, err)
+	}
+	return float64(m.Icount) / float64(base), nil
+}
+
+// Fig6 measures every tool over the given programs (all 20 when names is
+// empty) and returns per-tool geometric-mean ratios.
+func Fig6(names []string, progress io.Writer) ([]Fig6Row, error) {
+	if len(names) == 0 {
+		for _, p := range spec.Suite() {
+			names = append(names, p.Name)
+		}
+	}
+	var rows []Fig6Row
+	for _, tname := range tools.Names() {
+		logSum := 0.0
+		minR, maxR := math.Inf(1), 0.0
+		for _, pn := range names {
+			r, err := RatioFor(tname, pn, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			logSum += math.Log(r)
+			minR = math.Min(minR, r)
+			maxR = math.Max(maxR, r)
+			if progress != nil {
+				fmt.Fprintf(progress, "fig6: %-8s %-9s %6.2fx\n", tname, pn, r)
+			}
+		}
+		ref := PaperFig6[tname]
+		rows = append(rows, Fig6Row{
+			Tool:     tname,
+			Points:   ref.Points,
+			Args:     ref.Args,
+			Ratio:    math.Exp(logSum / float64(len(names))),
+			MinRatio: minR,
+			MaxRatio: maxR,
+		})
+	}
+	return rows, nil
+}
+
+// PrintFig5 renders Figure 5 next to the paper's numbers.
+func PrintFig5(w io.Writer, rows []Fig5Row) {
+	fmt.Fprintf(w, "Figure 5: time to instrument the %d-program suite\n", rows[0].Programs)
+	fmt.Fprintf(w, "%-8s  %-45s %12s %12s %14s\n", "tool", "description", "total", "avg/prog", "paper avg (s)")
+	for _, r := range rows {
+		ref := PaperFig5[r.Tool]
+		fmt.Fprintf(w, "%-8s  %-45s %12v %12v %14.2f\n",
+			r.Tool, r.Description, r.Total.Round(time.Millisecond), r.Avg.Round(time.Millisecond), ref.Avg)
+	}
+}
+
+// PrintFig6 renders Figure 6 next to the paper's numbers.
+func PrintFig6(w io.Writer, rows []Fig6Row) {
+	fmt.Fprintln(w, "Figure 6: instrumented / uninstrumented execution (instruction ratio)")
+	fmt.Fprintf(w, "%-8s  %-34s %5s %9s %9s %9s %8s\n", "tool", "instrumentation points", "args", "ratio", "min", "max", "paper")
+	for _, r := range rows {
+		ref := PaperFig6[r.Tool]
+		fmt.Fprintf(w, "%-8s  %-34s %5d %8.2fx %8.2fx %8.2fx %7.2fx\n",
+			r.Tool, r.Points, r.Args, r.Ratio, r.MinRatio, r.MaxRatio, ref.Ratio)
+	}
+}

@@ -1,0 +1,55 @@
+package link
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"atom/internal/aout"
+)
+
+// Patch applies one relocation to the bytes at buf[off:]. site is the
+// absolute address of the patched location (needed for PC-relative
+// types), target is the resolved symbol address plus addend, and symName
+// is used in diagnostics. It is exported because OM re-applies retained
+// relocations after instrumentation moves code.
+func Patch(buf []byte, off, site uint64, t aout.RelocType, target uint64, symName string) error {
+	switch t {
+	case aout.RelBr21:
+		delta := int64(target) - int64(site+4)
+		if delta%4 != 0 {
+			return fmt.Errorf("link: branch to %q lands at misaligned %#x", symName, target)
+		}
+		disp := delta / 4
+		if disp < -(1<<20) || disp >= 1<<20 {
+			return fmt.Errorf("link: branch to %q out of range (%d words)", symName, disp)
+		}
+		w := binary.LittleEndian.Uint32(buf[off:])
+		w = w&^0x1FFFFF | uint32(disp)&0x1FFFFF
+		binary.LittleEndian.PutUint32(buf[off:], w)
+	case aout.RelHi16:
+		lo := int64(int16(target))
+		hi := (int64(target) - lo) >> 16
+		if hi < -0x8000 || hi > 0x7FFF {
+			return fmt.Errorf("link: address of %q (%#x) exceeds ldah/lda range", symName, target)
+		}
+		patch16(buf, off, uint16(hi))
+	case aout.RelLo16:
+		patch16(buf, off, uint16(target))
+	case aout.RelQuad:
+		binary.LittleEndian.PutUint64(buf[off:], target)
+	case aout.RelLong:
+		if int64(target) < -(1<<31) || int64(target) >= 1<<32 {
+			return fmt.Errorf("link: address of %q (%#x) exceeds 32 bits", symName, target)
+		}
+		binary.LittleEndian.PutUint32(buf[off:], uint32(target))
+	default:
+		return fmt.Errorf("link: unknown relocation type %v", t)
+	}
+	return nil
+}
+
+func patch16(buf []byte, off uint64, v uint16) {
+	w := binary.LittleEndian.Uint32(buf[off:])
+	w = w&^0xFFFF | uint32(v)
+	binary.LittleEndian.PutUint32(buf[off:], w)
+}

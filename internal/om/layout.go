@@ -1,0 +1,263 @@
+package om
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"atom/internal/alpha"
+	"atom/internal/aout"
+	"atom/internal/link"
+)
+
+// Layout is the address assignment for an instrumented program: every
+// original instruction and every spliced Code sequence has been given a
+// new address, and the old<->new PC maps are available. No bytes are
+// emitted yet — Finish does that once external (analysis image) symbol
+// addresses are known.
+type Layout struct {
+	prog     *Program
+	size     uint64
+	oldToNew map[uint64]uint64
+	newToOld map[uint64]uint64
+	codeAddr map[*Code]uint64 // start address of each spliced sequence
+}
+
+// Layout assigns new addresses. Original instruction order is preserved;
+// each instruction becomes [before-code][instruction][after-code].
+func (p *Program) Layout() *Layout {
+	l := &Layout{
+		prog:     p,
+		oldToNew: make(map[uint64]uint64, len(p.instAt)),
+		newToOld: make(map[uint64]uint64, len(p.instAt)),
+		codeAddr: map[*Code]uint64{},
+	}
+	addr := p.Exe.TextAddr
+	for _, pr := range p.Procs {
+		for _, b := range pr.Blocks {
+			for _, in := range b.Insts {
+				for ci := range in.Before {
+					c := &in.Before[ci]
+					l.codeAddr[c] = addr
+					addr += uint64(len(c.Insts)) * 4
+				}
+				l.oldToNew[in.Addr] = addr
+				l.newToOld[addr] = in.Addr
+				addr += 4
+				for ci := range in.After {
+					c := &in.After[ci]
+					l.codeAddr[c] = addr
+					addr += uint64(len(c.Insts)) * 4
+				}
+			}
+		}
+	}
+	l.size = addr - p.Exe.TextAddr
+	return l
+}
+
+// TextSize returns the size in bytes of the instrumented text.
+func (l *Layout) TextSize() uint64 { return l.size }
+
+// NewAddr maps an original instruction address to its new address (the
+// start of its before-code, so branches into it execute the
+// instrumentation, as ATOM requires).
+func (l *Layout) NewAddr(old uint64) (uint64, bool) {
+	// The new address of an instrumented instruction is the address of
+	// its first before-sequence if any.
+	in, ok := l.prog.instAt[old]
+	if !ok {
+		v, ok := l.oldToNew[old]
+		return v, ok
+	}
+	if len(in.Before) > 0 {
+		return l.codeAddr[&in.Before[0]], true
+	}
+	v, ok := l.oldToNew[old]
+	return v, ok
+}
+
+// OldAddr maps a new instruction address back to the original address,
+// for addresses corresponding to original instructions. Spliced code has
+// no original address.
+func (l *Layout) OldAddr(new uint64) (uint64, bool) {
+	v, ok := l.newToOld[new]
+	return v, ok
+}
+
+// Result is the re-emitted program produced by Finish.
+type Result struct {
+	Text    []byte        // instrumented text, based at the original TextAddr
+	Data    []byte        // application data with text-pointer relocs re-fixed
+	Symbols []aout.Symbol // symbol table with text symbols moved
+	Entry   uint64
+}
+
+// Finish emits the instrumented text. resolve maps external symbol names
+// (analysis procedures and data) to absolute addresses.
+func (l *Layout) Finish(resolve func(string) (uint64, bool)) (*Result, error) {
+	p := l.prog
+	exe := p.Exe
+	text := make([]byte, l.size)
+	base := exe.TextAddr
+
+	emitCode := func(c *Code) error {
+		addr := l.codeAddr[c]
+		// Encode instructions first, then apply code relocs.
+		for i, in := range c.Insts {
+			w, err := in.Encode()
+			if err != nil {
+				return fmt.Errorf("om: spliced code: %w", err)
+			}
+			binary.LittleEndian.PutUint32(text[addr-base+uint64(i)*4:], w)
+		}
+		for _, r := range c.Relocs {
+			target, ok := resolve(r.Sym)
+			if !ok {
+				return fmt.Errorf("om: spliced code references unknown symbol %q", r.Sym)
+			}
+			site := addr + uint64(r.Index)*4
+			if err := link.Patch(text, site-base, site, r.Type, target+uint64(r.Addend), r.Sym); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for _, pr := range p.Procs {
+		for _, b := range pr.Blocks {
+			for _, in := range b.Insts {
+				for ci := range in.Before {
+					if err := emitCode(&in.Before[ci]); err != nil {
+						return nil, err
+					}
+				}
+				if err := l.emitInst(text, in); err != nil {
+					return nil, err
+				}
+				for ci := range in.After {
+					if err := emitCode(&in.After[ci]); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+
+	// Re-apply the retained relocations: address constants referring to
+	// text symbols must now produce the NEW addresses (the program has to
+	// jump to where code actually is); data-symbol references are
+	// unchanged because ATOM never moves application data.
+	data := append([]byte(nil), exe.Data...)
+	for _, r := range exe.Relocs {
+		sym := exe.Symbols[r.Sym]
+		target := sym.Value + uint64(r.Addend)
+		if sym.Section == aout.SecText {
+			nt, ok := l.NewAddr(sym.Value)
+			if !ok {
+				return nil, fmt.Errorf("om: reloc against text symbol %q at unmapped %#x", sym.Name, sym.Value)
+			}
+			target = nt + uint64(r.Addend)
+		}
+		switch r.Section {
+		case aout.SecText:
+			oldSite := exe.TextAddr + r.Offset
+			newSite, ok := l.oldToNew[oldSite]
+			if !ok {
+				return nil, fmt.Errorf("om: reloc at unmapped text offset %#x", r.Offset)
+			}
+			// Branch relocations were already resolved against the old
+			// layout and are recomputed by emitInst from displacement;
+			// skip them here to avoid double-patching — except they do
+			// not occur: the linker resolves BR21 to displacements and
+			// emitInst handles those. Address pairs must be re-patched.
+			if r.Type == aout.RelBr21 {
+				continue
+			}
+			if err := link.Patch(text, newSite-base, newSite, r.Type, target, sym.Name); err != nil {
+				return nil, err
+			}
+		case aout.SecData:
+			if sym.Section != aout.SecText {
+				continue // data-to-data references are unchanged
+			}
+			if err := link.Patch(data, r.Offset, exe.DataAddr+r.Offset, r.Type, target, sym.Name); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Move text symbols to their new addresses.
+	syms := make([]aout.Symbol, len(exe.Symbols))
+	copy(syms, exe.Symbols)
+	// Precompute new procedure sizes from the layout.
+	type bound struct{ old, new uint64 }
+	var bounds []bound
+	for _, pr := range p.Procs {
+		if n, ok := l.NewAddr(pr.Addr); ok {
+			bounds = append(bounds, bound{pr.Addr, n})
+		}
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i].new < bounds[j].new })
+	for i := range syms {
+		if syms[i].Section != aout.SecText {
+			continue
+		}
+		n, ok := l.NewAddr(syms[i].Value)
+		if !ok {
+			return nil, fmt.Errorf("om: text symbol %q at unmapped %#x", syms[i].Name, syms[i].Value)
+		}
+		if syms[i].Kind == aout.SymFunc {
+			// Recompute the size from the next procedure's new start.
+			end := base + l.size
+			for j := range bounds {
+				if bounds[j].new > n {
+					end = bounds[j].new
+					break
+				}
+			}
+			syms[i].Size = end - n
+		}
+		syms[i].Value = n
+	}
+
+	var entry uint64
+	if exe.Entry != 0 { // images without an entry point (analysis images)
+		var ok bool
+		entry, ok = l.NewAddr(exe.Entry)
+		if !ok {
+			return nil, fmt.Errorf("om: entry point %#x unmapped", exe.Entry)
+		}
+	}
+	return &Result{Text: text, Data: data, Symbols: syms, Entry: entry}, nil
+}
+
+// emitInst encodes one original instruction at its new address,
+// recomputing PC-relative displacements against the new layout.
+func (l *Layout) emitInst(text []byte, in *Inst) error {
+	base := l.prog.Exe.TextAddr
+	newAddr := l.oldToNew[in.Addr]
+	i := in.I
+	if i.Op.Format() == alpha.FormatBranch {
+		oldTarget := in.Addr + 4 + uint64(int64(i.Disp)*4)
+		newTarget, ok := l.NewAddr(oldTarget)
+		if !ok {
+			return fmt.Errorf("om: branch at %#x targets unmapped %#x", in.Addr, oldTarget)
+		}
+		delta := int64(newTarget) - int64(newAddr+4)
+		if delta%4 != 0 {
+			return fmt.Errorf("om: misaligned rebranch at %#x", in.Addr)
+		}
+		disp := delta / 4
+		if disp < -(1<<20) || disp >= 1<<20 {
+			return fmt.Errorf("om: instrumented branch at %#x out of 21-bit range (%d words)", in.Addr, disp)
+		}
+		i.Disp = int32(disp)
+	}
+	w, err := i.Encode()
+	if err != nil {
+		return fmt.Errorf("om: re-encode at %#x: %w", in.Addr, err)
+	}
+	binary.LittleEndian.PutUint32(text[newAddr-base:], w)
+	return nil
+}

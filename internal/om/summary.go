@@ -1,0 +1,128 @@
+package om
+
+import (
+	"atom/internal/alpha"
+)
+
+// RegSet is a set of integer registers, one bit per register.
+type RegSet uint32
+
+// Add returns the set with r included.
+func (s RegSet) Add(r alpha.Reg) RegSet { return s | 1<<uint(r) }
+
+// Has reports whether r is in the set.
+func (s RegSet) Has(r alpha.Reg) bool { return s&(1<<uint(r)) != 0 }
+
+// Union returns the union of two sets.
+func (s RegSet) Union(o RegSet) RegSet { return s | o }
+
+// Count returns the number of registers in the set.
+func (s RegSet) Count() int {
+	n := 0
+	for r := alpha.Reg(0); r < alpha.NumRegs; r++ {
+		if s.Has(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// Regs returns the registers in ascending order.
+func (s RegSet) Regs() []alpha.Reg {
+	var out []alpha.Reg
+	for r := alpha.Reg(0); r < alpha.NumRegs; r++ {
+		if s.Has(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// AllCallerSave is the set of every caller-save register.
+func AllCallerSave() RegSet {
+	var s RegSet
+	for _, r := range alpha.CallerSaveRegs() {
+		s = s.Add(r)
+	}
+	return s
+}
+
+// ModifiedRegs computes, for every procedure, the set of caller-save
+// registers that may be modified when control reaches it — the data-flow
+// summary information ATOM uses to minimize register saves around calls
+// into analysis routines (paper, Section 4, "Reducing Procedure Call
+// Overhead"). The analysis is an interprocedural fixpoint over the call
+// graph; indirect calls (jsr) are assumed to clobber every caller-save
+// register, and CALL_PAL services clobber v0.
+func (p *Program) ModifiedRegs() map[string]RegSet {
+	direct := make([]RegSet, len(p.Procs))
+	calls := make([][]int, len(p.Procs)) // proc index -> callee proc indices
+	anyIndirect := make([]bool, len(p.Procs))
+
+	procIdxAt := map[uint64]int{}
+	for i, pr := range p.Procs {
+		procIdxAt[pr.Addr] = i
+	}
+
+	for i, pr := range p.Procs {
+		for _, b := range pr.Blocks {
+			for _, in := range b.Insts {
+				if w, ok := in.I.WritesReg(); ok && w.IsCallerSave() {
+					direct[i] = direct[i].Add(w)
+				}
+				switch in.I.Op {
+				case alpha.OpBsr:
+					target := in.Addr + 4 + uint64(int64(in.I.Disp)*4)
+					if ti, ok := procIdxAt[target]; ok {
+						calls[i] = append(calls[i], ti)
+					} else if t, ok2 := p.instAt[target]; ok2 && t.block.proc != pr {
+						// bsr into the middle of another procedure:
+						// treat conservatively.
+						anyIndirect[i] = true
+					}
+				case alpha.OpJsr:
+					anyIndirect[i] = true
+				case alpha.OpCallPal:
+					direct[i] = direct[i].Add(alpha.V0)
+				case alpha.OpBr:
+					// A cross-procedure br is a tail transfer; treat the
+					// target procedure as a callee.
+					target := in.Addr + 4 + uint64(int64(in.I.Disp)*4)
+					if t, ok := p.instAt[target]; ok && t.block.proc != pr {
+						if ti, ok2 := procIdxAt[t.block.proc.Addr]; ok2 {
+							calls[i] = append(calls[i], ti)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	mod := make([]RegSet, len(p.Procs))
+	copy(mod, direct)
+	all := AllCallerSave()
+	for i := range mod {
+		if anyIndirect[i] {
+			mod[i] = all
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range p.Procs {
+			s := mod[i]
+			for _, c := range calls[i] {
+				s = s.Union(mod[c])
+			}
+			if s != mod[i] {
+				mod[i] = s
+				changed = true
+			}
+		}
+	}
+
+	out := make(map[string]RegSet, len(p.Procs))
+	for i, pr := range p.Procs {
+		out[pr.Name] = mod[i]
+	}
+	return out
+}

@@ -1,0 +1,24 @@
+#define FILE struct __file
+#define NULL 0
+#define EOF -1
+
+struct __file { long fd; };
+
+extern long __fds[3];
+#define stdin ((FILE *)&__fds[0])
+#define stdout ((FILE *)&__fds[1])
+#define stderr ((FILE *)&__fds[2])
+
+extern FILE *fopen(char *path, char *mode);
+extern int fclose(FILE *f);
+extern int printf(char *fmt, ...);
+extern int fprintf(FILE *f, char *fmt, ...);
+extern int sprintf(char *buf, char *fmt, ...);
+extern int fputs(char *s, FILE *f);
+extern int puts(char *s);
+extern int fputc(int c, FILE *f);
+extern int putchar(int c);
+extern int fgetc(FILE *f);
+extern int getchar(void);
+extern long fread(char *buf, long size, long n, FILE *f);
+extern long fwrite(char *buf, long size, long n, FILE *f);

@@ -1,0 +1,25 @@
+#define NULL 0
+
+extern char *malloc(long n);
+extern void free(char *p);
+extern char *calloc(long n, long size);
+extern char *realloc(char *p, long n);
+extern void exit(long code);
+extern void abort(void);
+extern long atoi(char *s);
+extern long labs(long v);
+extern long rand(void);
+extern void srand(long seed);
+
+extern char *sbrk(long incr);
+extern long __cycles(void);
+extern void __halt(long code);
+extern long __sys_write(long fd, char *buf, long n);
+extern long __sys_read(long fd, char *buf, long n);
+extern long __sys_open(char *path, long flags);
+extern long __sys_close(long fd);
+extern long __divq(long a, long b);
+extern long __remq(long a, long b);
+extern long __udivq(long a, long b);
+extern long __udiv10(long v);
+extern long __uremq(long a, long b);

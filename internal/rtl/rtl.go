@@ -1,0 +1,178 @@
+// Package rtl builds the runtime library (libc equivalent) used by every
+// program in this reproduction: crt0, system-call veneers over CALL_PAL,
+// software integer division (the Alpha has no divide instruction),
+// malloc/free over sbrk, string routines, and printf-family stdio.
+//
+// ATOM's central discipline is that the application and the analysis
+// routines share no code or data: each links its own private copy of this
+// library ("if both the application program and the analysis routines use
+// the same library procedure, like printf, there are two copies of printf
+// in the final executable"). The library is therefore exposed as a
+// link.Library whose members are archive-selected per image.
+package rtl
+
+import (
+	"embed"
+	"fmt"
+	"io/fs"
+	"sort"
+	"strings"
+	"sync"
+
+	"atom/internal/aout"
+	"atom/internal/asm"
+	"atom/internal/cc"
+	"atom/internal/link"
+)
+
+//go:embed src include
+var files embed.FS
+
+var (
+	once     sync.Once
+	headers  map[string]string
+	lib      *link.Library
+	crt0     *aout.File
+	buildErr error
+)
+
+func build() {
+	headers = map[string]string{}
+	hdrs, err := fs.ReadDir(files, "include")
+	if err != nil {
+		buildErr = fmt.Errorf("rtl: %w", err)
+		return
+	}
+	for _, e := range hdrs {
+		data, err := files.ReadFile("include/" + e.Name())
+		if err != nil {
+			buildErr = fmt.Errorf("rtl: %w", err)
+			return
+		}
+		headers[e.Name()] = string(data)
+	}
+
+	srcs, err := fs.ReadDir(files, "src")
+	if err != nil {
+		buildErr = fmt.Errorf("rtl: %w", err)
+		return
+	}
+	var names []string
+	for _, e := range srcs {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	lib = &link.Library{Name: "librtl"}
+	for _, name := range names {
+		data, err := files.ReadFile("src/" + name)
+		if err != nil {
+			buildErr = fmt.Errorf("rtl: %w", err)
+			return
+		}
+		var obj *aout.File
+		switch {
+		case strings.HasSuffix(name, ".s"):
+			obj, err = asm.Assemble(name, string(data))
+		case strings.HasSuffix(name, ".c"):
+			obj, err = cc.Build(name, string(data), headers)
+		default:
+			continue
+		}
+		if err != nil {
+			buildErr = fmt.Errorf("rtl: %s: %w", name, err)
+			return
+		}
+		// crt0 defines the entry point, which nothing references by
+		// name, so it is linked explicitly rather than archive-selected.
+		if name == "crt0.s" {
+			crt0 = obj
+			continue
+		}
+		lib.Members = append(lib.Members, obj)
+	}
+}
+
+// Headers returns the standard headers (stdio.h, stdlib.h, string.h) for
+// compiling MiniC programs against this library.
+func Headers() (map[string]string, error) {
+	once.Do(build)
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	return headers, nil
+}
+
+// Lib returns the compiled runtime library. The returned value is shared
+// and must not be mutated; the linker copies member contents.
+func Lib() (*link.Library, error) {
+	once.Do(build)
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	return lib, nil
+}
+
+// Crt0 returns the startup object defining __start. It must be linked
+// explicitly into executables (nothing references it by name, so archive
+// selection would never pull it in).
+func Crt0() (*aout.File, error) {
+	once.Do(build)
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	return crt0, nil
+}
+
+// BuildObjects compiles MiniC sources (name -> source) into objects.
+// Names ending in ".s" are assembled instead — analysis routines with
+// hand-optimized hot paths mix both.
+func BuildObjects(srcs map[string]string) ([]*aout.File, error) {
+	hdrs, err := Headers()
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for n := range srcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var objs []*aout.File
+	for _, n := range names {
+		var obj *aout.File
+		var err error
+		if strings.HasSuffix(n, ".s") {
+			obj, err = asm.Assemble(n, srcs[n])
+		} else {
+			obj, err = cc.Build(n, srcs[n], hdrs)
+		}
+		if err != nil {
+			return nil, err
+		}
+		objs = append(objs, obj)
+	}
+	return objs, nil
+}
+
+// BuildProgram compiles a single-file MiniC program and links it (with
+// crt0 and the runtime library) into an executable.
+func BuildProgram(name, src string) (*aout.File, error) {
+	return BuildProgramMulti(map[string]string{name: src})
+}
+
+// BuildProgramMulti compiles several MiniC source files and links them
+// together with crt0 and the runtime library.
+func BuildProgramMulti(srcs map[string]string) (*aout.File, error) {
+	objs, err := BuildObjects(srcs)
+	if err != nil {
+		return nil, err
+	}
+	c0, err := Crt0()
+	if err != nil {
+		return nil, err
+	}
+	l, err := Lib()
+	if err != nil {
+		return nil, err
+	}
+	return link.Link(link.Config{}, append([]*aout.File{c0}, objs...), l)
+}

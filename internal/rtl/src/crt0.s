@@ -1,0 +1,12 @@
+# crt0: program entry point. The kernel (VM) places argc at sp and the
+# argv array just above it. Control never returns from exit.
+	.text
+	.globl __start
+	.ent __start
+__start:
+	ldq a0, 0(sp)		# argc
+	lda a1, 8(sp)		# argv
+	bsr ra, main
+	mov v0, a0
+	bsr ra, exit
+	.end __start

@@ -1,0 +1,123 @@
+# Integer division support. The Alpha architecture has no integer divide
+# instruction; like OSF/1 libc, we supply software routines. The core is
+# a 64-step restoring division on unsigned operands.
+#
+#   __udivq(a, b) -> a / b   (unsigned)
+#   __uremq(a, b) -> a % b   (unsigned)
+#   __divq(a, b)  -> a / b   (signed, truncating like C)
+#   __remq(a, b)  -> a % b   (signed, sign of the dividend)
+#
+# Division by zero halts the program with status 134 (SIGFPE-style abort).
+# Clobbers only caller-save registers.
+	.text
+
+# Internal: divides a0 by a1, leaving quotient in t2, remainder in t3.
+# Falls through on return via ra2 saved in t9 (leaf-to-leaf call via t10).
+	.ent __udivmod
+__udivmod:
+	beq a1, __divzero
+	clr t2			# quotient
+	clr t3			# remainder
+	li t4, 64		# bit counter
+__udm_loop:
+	sll t3, 1, t3		# r <<= 1
+	srl a0, 63, t5		# top bit of a
+	bis t3, t5, t3
+	sll a0, 1, a0
+	sll t2, 1, t2		# q <<= 1
+	cmpult t3, a1, t5	# r < b (unsigned)?
+	bne t5, __udm_skip
+	subq t3, a1, t3
+	bis t2, 1, t2
+__udm_skip:
+	subq t4, 1, t4
+	bgt t4, __udm_loop
+	ret (ra)
+	.end __udivmod
+
+	.ent __divzero
+__divzero:
+	li a0, 134
+	call_pal 0
+	br __divzero		# not reached
+	.end __divzero
+
+	.globl __udivq
+	.ent __udivq
+__udivq:
+	lda sp, -16(sp)
+	stq ra, 0(sp)
+	bsr ra, __udivmod
+	mov t2, v0
+	ldq ra, 0(sp)
+	lda sp, 16(sp)
+	ret (ra)
+	.end __udivq
+
+	.globl __uremq
+	.ent __uremq
+__uremq:
+	lda sp, -16(sp)
+	stq ra, 0(sp)
+	bsr ra, __udivmod
+	mov t3, v0
+	ldq ra, 0(sp)
+	lda sp, 16(sp)
+	ret (ra)
+	.end __uremq
+
+	.globl __divq
+	.ent __divq
+__divq:
+	lda sp, -16(sp)
+	stq ra, 0(sp)
+	xor a0, a1, t7		# quotient sign in bit 63
+	bge a0, __dq_apos
+	negq a0, a0
+__dq_apos:
+	bge a1, __dq_bpos
+	negq a1, a1
+__dq_bpos:
+	bsr ra, __udivmod
+	mov t2, v0
+	bge t7, __dq_done
+	negq v0, v0
+__dq_done:
+	ldq ra, 0(sp)
+	lda sp, 16(sp)
+	ret (ra)
+	.end __divq
+
+	.globl __remq
+	.ent __remq
+__remq:
+	lda sp, -16(sp)
+	stq ra, 0(sp)
+	mov a0, t7		# remainder takes the dividend's sign
+	bge a0, __rq_apos
+	negq a0, a0
+__rq_apos:
+	bge a1, __rq_bpos
+	negq a1, a1
+__rq_bpos:
+	bsr ra, __udivmod
+	mov t3, v0
+	bge t7, __rq_done
+	negq v0, v0
+__rq_done:
+	ldq ra, 0(sp)
+	lda sp, 16(sp)
+	ret (ra)
+	.end __remq
+
+# __udiv10(v) -> v / 10 (unsigned), via multiply by the 1/10 reciprocal:
+# floor(v/10) = umulh(v, 0xCCCCCCCCCCCCCCCD) >> 3. Used by printf's digit
+# loop so formatting does not pay the 64-step division each digit.
+	.globl __udiv10
+	.ent __udiv10
+__udiv10:
+	li t0, 0xCCCCCCCCCCCCCCCD
+	umulh a0, t0, v0
+	srl v0, 3, v0
+	ret (ra)
+	.end __udiv10

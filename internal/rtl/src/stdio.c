@@ -1,0 +1,181 @@
+/* stdio.c: minimal buffered-enough standard I/O over the raw system
+ * calls. printf-family formatting supports %d %u %x %c %s %p %% and
+ * ignores width/precision/length modifiers. */
+#include <stdio.h>
+#include <stdlib.h>
+
+long __fds[3] = {0, 1, 2};
+
+FILE *fopen(char *path, char *mode) {
+    long flags = 0;
+    long fd;
+    FILE *f;
+    if (mode[0] == 'w' || mode[0] == 'a') flags = 1;
+    fd = __sys_open(path, flags);
+    if (fd < 0) return (FILE *)0;
+    f = (FILE *)malloc(sizeof(FILE));
+    f->fd = fd;
+    return f;
+}
+
+int fclose(FILE *f) {
+    if (!f) return -1;
+    __sys_close(f->fd);
+    if (f->fd > 2) free((char *)f);
+    return 0;
+}
+
+int fputc(int c, FILE *f) {
+    char b[2];
+    b[0] = (char)c;
+    __sys_write(f->fd, b, 1);
+    return c;
+}
+
+int putchar(int c) {
+    char b[2];
+    b[0] = (char)c;
+    __sys_write(1, b, 1);
+    return c;
+}
+
+int fputs(char *s, FILE *f) {
+    long n = 0;
+    while (s[n]) n++;
+    __sys_write(f->fd, s, n);
+    return 0;
+}
+
+int puts(char *s) {
+    long n = 0;
+    while (s[n]) n++;
+    __sys_write(1, s, n);
+    __sys_write(1, "\n", 1);
+    return 0;
+}
+
+int fgetc(FILE *f) {
+    char b[2];
+    long n = __sys_read(f->fd, b, 1);
+    if (n != 1) return -1;
+    return (long)b[0];
+}
+
+int getchar(void) {
+    char b[2];
+    long n = __sys_read(0, b, 1);
+    if (n != 1) return -1;
+    return (long)b[0];
+}
+
+long fread(char *buf, long size, long n, FILE *f) {
+    long got = __sys_read(f->fd, buf, size * n);
+    if (got < 0) return 0;
+    return __divq(got, size);
+}
+
+long fwrite(char *buf, long size, long n, FILE *f) {
+    long put = __sys_write(f->fd, buf, size * n);
+    if (put < 0) return 0;
+    return __divq(put, size);
+}
+
+/* __fmtnum renders v in the given base at out+pos, returning the new
+ * position. sgn selects signed rendering. */
+static long __fmtnum(char *out, long pos, long v, long base, long sgn) {
+    char tmp[72];
+    long i = 0;
+    long neg = 0;
+    long d;
+    long q;
+    if (sgn && v < 0) { neg = 1; v = -v; }
+    if (v == 0) { tmp[0] = '0'; i = 1; }
+    if (base == 16) {
+        while (v) {
+            d = v & 15;
+            if (d < 10) tmp[i] = (char)('0' + d);
+            else tmp[i] = (char)('a' + d - 10);
+            v = (v >> 4) & 0x0fffffffffffffff;
+            i++;
+        }
+    }
+    while (v) {
+        q = __udiv10(v);
+        d = v - q * 10;
+        tmp[i] = (char)('0' + d);
+        v = q;
+        i++;
+    }
+    if (neg) { tmp[i] = '-'; i++; }
+    while (i > 0) {
+        i--;
+        out[pos] = tmp[i];
+        pos++;
+    }
+    return pos;
+}
+
+/* __vformat formats into out (NUL-terminated) reading arguments from the
+ * caller's register-save area ap starting at index i. */
+static long __vformat(char *out, char *fmt, long *ap, long i) {
+    long pos = 0;
+    long k = 0;
+    char c;
+    char *s;
+    long j;
+    while (fmt[k]) {
+        c = fmt[k];
+        if (c != '%') {
+            out[pos] = c;
+            pos++;
+            k++;
+            continue;
+        }
+        k++;
+        while (fmt[k] == 'l' || fmt[k] == 'h' || fmt[k] == '-' || fmt[k] == '+' ||
+               (fmt[k] >= '0' && fmt[k] <= '9')) {
+            k++;
+        }
+        c = fmt[k];
+        k++;
+        if (c == 'd') { pos = __fmtnum(out, pos, ap[i], 10, 1); i++; }
+        else if (c == 'u') { pos = __fmtnum(out, pos, ap[i], 10, 0); i++; }
+        else if (c == 'x') { pos = __fmtnum(out, pos, ap[i], 16, 0); i++; }
+        else if (c == 'p') {
+            out[pos] = '0'; pos++;
+            out[pos] = 'x'; pos++;
+            pos = __fmtnum(out, pos, ap[i], 16, 0);
+            i++;
+        }
+        else if (c == 'c') { out[pos] = (char)ap[i]; pos++; i++; }
+        else if (c == 's') {
+            s = (char *)ap[i];
+            i++;
+            j = 0;
+            while (s[j]) { out[pos] = s[j]; pos++; j++; }
+        }
+        else if (c == '%') { out[pos] = '%'; pos++; }
+        else if (c == 0) break;
+        else { out[pos] = c; pos++; }
+    }
+    out[pos] = 0;
+    return pos;
+}
+
+int printf(char *fmt, ...) {
+    char buf[1024];
+    long n = __vformat(buf, fmt, __va(), 1);
+    __sys_write(1, buf, n);
+    return (int)n;
+}
+
+int fprintf(FILE *f, char *fmt, ...) {
+    char buf[1024];
+    long n = __vformat(buf, fmt, __va(), 2);
+    __sys_write(f->fd, buf, n);
+    return (int)n;
+}
+
+int sprintf(char *out, char *fmt, ...) {
+    return (int)__vformat(out, fmt, __va(), 2);
+}

@@ -1,0 +1,139 @@
+/* stdlib.c: process control, dynamic memory, and small utilities.
+ *
+ * malloc is a first-fit free-list allocator over sbrk, with block
+ * splitting and a 16-byte header. This matters for the reproduction:
+ * the paper's malloc tool instruments this procedure, and ATOM's two
+ * heap schemes are about how the application's and analysis' copies of
+ * sbrk share (or partition) the heap.
+ */
+#include <stdlib.h>
+
+void exit(long code) {
+    __halt(code);
+}
+
+void abort(void) {
+    __halt(134);
+}
+
+struct __hdr {
+    long size;
+    struct __hdr *next;
+};
+
+static struct __hdr *__freelist;
+
+char *malloc(long n) {
+    struct __hdr *prev;
+    struct __hdr *h;
+    struct __hdr *rest;
+    char *p;
+    long grab;
+
+    if (n < 1) n = 1;
+    n = (n + 15) & ~15;
+    prev = (struct __hdr *)0;
+    h = __freelist;
+    while (h) {
+        if (h->size >= n) {
+            if (h->size >= n + 48) {
+                /* Split the block. */
+                rest = (struct __hdr *)((char *)h + 16 + n);
+                rest->size = h->size - n - 16;
+                rest->next = h->next;
+                h->size = n;
+                if (prev) prev->next = rest; else __freelist = rest;
+            } else {
+                if (prev) prev->next = h->next; else __freelist = h->next;
+            }
+            return (char *)h + 16;
+        }
+        prev = h;
+        h = h->next;
+    }
+    grab = n + 16;
+    if (grab < 4096) grab = 4096;
+    p = sbrk(grab);
+    if ((long)p == -1) return (char *)0;
+    h = (struct __hdr *)p;
+    if (grab >= n + 16 + 48) {
+        h->size = n;
+        rest = (struct __hdr *)(p + 16 + n);
+        rest->size = grab - n - 32;
+        rest->next = __freelist;
+        __freelist = rest;
+    } else {
+        h->size = grab - 16;
+    }
+    return p + 16;
+}
+
+void free(char *p) {
+    struct __hdr *h;
+    if (!p) return;
+    h = (struct __hdr *)(p - 16);
+    h->next = __freelist;
+    __freelist = h;
+}
+
+char *calloc(long n, long size) {
+    long total = n * size;
+    char *p = malloc(total);
+    long i;
+    long quads;
+    long *q;
+    if (!p) return p;
+    /* malloc blocks are 16-byte aligned: zero by quadwords, then the tail. */
+    quads = total >> 3;
+    q = (long *)p;
+    for (i = 0; i < quads; i++) q[i] = 0;
+    for (i = quads << 3; i < total; i++) p[i] = 0;
+    return p;
+}
+
+char *realloc(char *p, long n) {
+    struct __hdr *h;
+    char *q;
+    long old;
+    long i;
+    if (!p) return malloc(n);
+    h = (struct __hdr *)(p - 16);
+    old = h->size;
+    if (old >= n) return p;
+    q = malloc(n);
+    if (!q) return q;
+    for (i = 0; i < old; i++) q[i] = p[i];
+    free(p);
+    return q;
+}
+
+long atoi(char *s) {
+    long v = 0;
+    long neg = 0;
+    while (*s == ' ' || *s == '\t') s++;
+    if (*s == '-') { neg = 1; s++; }
+    else if (*s == '+') s++;
+    while (*s >= '0' && *s <= '9') {
+        v = v * 10 + (*s - '0');
+        s++;
+    }
+    if (neg) return -v;
+    return v;
+}
+
+long labs(long v) {
+    if (v < 0) return -v;
+    return v;
+}
+
+static long __seed = 1;
+
+void srand(long seed) {
+    __seed = seed;
+}
+
+/* 64-bit LCG (Knuth's MMIX constants); returns 31 bits. */
+long rand(void) {
+    __seed = __seed * 6364136223846793005 + 1442695040888963407;
+    return (__seed >> 33) & 0x7fffffff;
+}

@@ -1,0 +1,70 @@
+/* string.c: the usual byte-string routines. */
+#include <string.h>
+
+long strlen(char *s) {
+    long n = 0;
+    while (s[n]) n++;
+    return n;
+}
+
+char *strcpy(char *dst, char *src) {
+    long i = 0;
+    while (src[i]) { dst[i] = src[i]; i++; }
+    dst[i] = 0;
+    return dst;
+}
+
+char *strncpy(char *dst, char *src, long n) {
+    long i = 0;
+    while (i < n && src[i]) { dst[i] = src[i]; i++; }
+    while (i < n) { dst[i] = 0; i++; }
+    return dst;
+}
+
+long strcmp(char *a, char *b) {
+    long i = 0;
+    while (a[i] && a[i] == b[i]) i++;
+    return (long)a[i] - (long)b[i];
+}
+
+long strncmp(char *a, char *b, long n) {
+    long i = 0;
+    while (i < n && a[i] && a[i] == b[i]) i++;
+    if (i == n) return 0;
+    return (long)a[i] - (long)b[i];
+}
+
+char *strcat(char *dst, char *src) {
+    strcpy(dst + strlen(dst), src);
+    return dst;
+}
+
+char *strchr(char *s, long c) {
+    long i = 0;
+    while (s[i]) {
+        if (s[i] == c) return s + i;
+        i++;
+    }
+    if (c == 0) return s + i;
+    return (char *)0;
+}
+
+char *memcpy(char *dst, char *src, long n) {
+    long i;
+    for (i = 0; i < n; i++) dst[i] = src[i];
+    return dst;
+}
+
+char *memset(char *dst, long c, long n) {
+    long i;
+    for (i = 0; i < n; i++) dst[i] = (char)c;
+    return dst;
+}
+
+long memcmp(char *a, char *b, long n) {
+    long i;
+    for (i = 0; i < n; i++) {
+        if (a[i] != b[i]) return (long)a[i] - (long)b[i];
+    }
+    return 0;
+}

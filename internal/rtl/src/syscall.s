@@ -1,0 +1,57 @@
+# System-call veneers over CALL_PAL, standing in for the OSF/1 PALcode
+# interface. Arguments arrive in a0..a2 per the calling convention and are
+# passed through unchanged; results return in v0.
+#
+# sbrk deserves note: ATOM locates this routine in the *analysis* image
+# and rewrites its CALL_PAL to the second sbrk zone (PAL function 7),
+# implementing the paper's two dynamic-memory schemes. The application
+# image's copy is never touched.
+	.text
+	.globl __halt
+	.ent __halt
+__halt:
+	call_pal 0
+	br __halt		# not reached
+	.end __halt
+
+	.globl __sys_write
+	.ent __sys_write
+__sys_write:
+	call_pal 1
+	ret (ra)
+	.end __sys_write
+
+	.globl __sys_read
+	.ent __sys_read
+__sys_read:
+	call_pal 2
+	ret (ra)
+	.end __sys_read
+
+	.globl __sys_open
+	.ent __sys_open
+__sys_open:
+	call_pal 3
+	ret (ra)
+	.end __sys_open
+
+	.globl __sys_close
+	.ent __sys_close
+__sys_close:
+	call_pal 4
+	ret (ra)
+	.end __sys_close
+
+	.globl sbrk
+	.ent sbrk
+sbrk:
+	call_pal 5
+	ret (ra)
+	.end sbrk
+
+	.globl __cycles
+	.ent __cycles
+__cycles:
+	call_pal 6
+	ret (ra)
+	.end __cycles

@@ -1,0 +1,682 @@
+package spec
+
+// The suite members. Comments note the SPEC92 component each one stands
+// in for and the instrumentation-site profile it contributes.
+
+var programs = []Program{
+	// compress: byte-stream run-length + hash compression. Byte loads and
+	// stores, data-dependent branches.
+	{Name: "compress", Src: `
+#include <stdio.h>
+#include <stdlib.h>
+#define N 24000
+char in[N];
+char out[N + N / 2];
+int main() {
+	long seed = 12345;
+	long i;
+	for (i = 0; i < N; i++) {
+		seed = seed * 1103515245 + 12345;
+		/* runs of repeated bytes with varying lengths */
+		in[i] = (char)((seed >> 16) & 7);
+	}
+	long o = 0;
+	long run = 1;
+	for (i = 1; i <= N; i++) {
+		if (i < N && in[i] == in[i-1] && run < 255) { run++; continue; }
+		out[o] = (char)run; o++;
+		out[o] = in[i-1]; o++;
+		run = 1;
+	}
+	long h = 5381;
+	for (i = 0; i < o; i++) h = h * 33 + out[i];
+	printf("compress: %d -> %d hash=%x\n", (long)N, o, h & 0xffffffff);
+	return 0;
+}
+`},
+
+	// eqntott: boolean equation to truth-table conversion — bit-parallel
+	// logic, very branchy comparison loops.
+	{Name: "eqntott", Src: `
+#include <stdio.h>
+#define TERMS 600
+#define WORDS 8
+long pt[TERMS][WORDS];
+int main() {
+	long seed = 7;
+	long i, j;
+	for (i = 0; i < TERMS; i++)
+		for (j = 0; j < WORDS; j++) {
+			seed = seed * 6364136223846793005 + 1442695040888963407;
+			pt[i][j] = seed;
+		}
+	/* count covered minterm pairs via bitwise implication tests */
+	long covered = 0;
+	for (i = 0; i < TERMS; i++) {
+		long k = i + 1;
+		for (j = 0; j < WORDS; j++) {
+			if (k >= TERMS) k = 0;
+			long a = pt[i][j];
+			long b = pt[k][j];
+			if ((a & b) == a) covered++;
+			if ((a | b) == b) covered++;
+			if ((a ^ b) & 1) covered++;
+		}
+	}
+	printf("eqntott: covered=%d\n", covered);
+	return 0;
+}
+`},
+
+	// espresso: two-level logic minimization flavor — cube containment
+	// over bit vectors, table-driven branching.
+	{Name: "espresso", Src: `
+#include <stdio.h>
+#define CUBES 160
+long cube[CUBES];
+long keep[CUBES];
+int main() {
+	long seed = 99;
+	long i, j;
+	for (i = 0; i < CUBES; i++) {
+		seed = seed * 25214903917 + 11;
+		cube[i] = (seed >> 11) & 0xffffff;
+		keep[i] = 1;
+	}
+	/* remove cubes contained in another cube */
+	long removed = 0;
+	for (i = 0; i < CUBES; i++) {
+		if (!keep[i]) continue;
+		for (j = 0; j < CUBES; j++) {
+			if (i == j || !keep[j]) continue;
+			if ((cube[i] & cube[j]) == cube[i] && cube[i] != cube[j]) {
+				keep[j] = 0;
+				removed++;
+			}
+		}
+	}
+	long h = 0;
+	for (i = 0; i < CUBES; i++) if (keep[i]) h = h * 31 + cube[i];
+	printf("espresso: removed=%d hash=%x\n", removed, h & 0xffffffff);
+	return 0;
+}
+`},
+
+	// li: a small expression interpreter (the lisp interpreter's profile:
+	// switch dispatch, recursion, pointer chasing, heap allocation).
+	{Name: "li", Src: `
+#include <stdio.h>
+#include <stdlib.h>
+struct node {
+	long op;   /* 0 const, 1 add, 2 sub, 3 mul, 4 max */
+	long val;
+	struct node *l;
+	struct node *r;
+};
+long seed = 31415;
+long nextRand() {
+	seed = seed * 1103515245 + 12345;
+	return (seed >> 16) & 0x7fff;
+}
+struct node *build(long depth) {
+	struct node *n = (struct node *) malloc(sizeof(struct node));
+	if (depth == 0) {
+		n->op = 0;
+		n->val = nextRand() % 100;
+		return n;
+	}
+	n->op = 1 + nextRand() % 4;
+	n->l = build(depth - 1);
+	n->r = build(depth - 1);
+	return n;
+}
+long eval(struct node *n) {
+	switch (n->op) {
+	case 0: return n->val;
+	case 1: return eval(n->l) + eval(n->r);
+	case 2: return eval(n->l) - eval(n->r);
+	case 3: return (eval(n->l) * eval(n->r)) & 0xffff;
+	case 4: {
+		long a = eval(n->l);
+		long b = eval(n->r);
+		return a > b ? a : b;
+	}
+	}
+	return 0;
+}
+int main() {
+	long total = 0;
+	long t;
+	for (t = 0; t < 6; t++) {
+		struct node *tree = build(8);
+		long i;
+		for (i = 0; i < 3; i++) total += eval(tree) & 0xff;
+	}
+	printf("li: total=%d\n", total);
+	return 0;
+}
+`},
+
+	// sc: spreadsheet recalculation — dependency-ordered cell updates,
+	// integer formulas, column scans.
+	{Name: "sc", Src: `
+#include <stdio.h>
+#define ROWS 90
+#define COLS 26
+long cell[ROWS][COLS];
+int main() {
+	long r, c, pass;
+	for (r = 0; r < ROWS; r++)
+		for (c = 0; c < COLS; c++)
+			cell[r][c] = (r * 31 + c * 17) % 1000;
+	for (pass = 0; pass < 3; pass++) {
+		for (r = 1; r < ROWS; r++)
+			for (c = 1; c < COLS; c++) {
+				long v = cell[r-1][c] + cell[r][c-1];
+				if (v > 10000) v = v % 10000;
+				cell[r][c] = v + (cell[r][c] >> 1);
+			}
+	}
+	long sum = 0;
+	for (c = 0; c < COLS; c++) sum += cell[ROWS-1][c];
+	printf("sc: sum=%d\n", sum & 0xffffffff);
+	return 0;
+}
+`},
+
+	// gcc: compiler front-end flavor — tokenize and hash a generated
+	// source text, string handling and table lookups.
+	{Name: "gcc", Src: `
+#include <stdio.h>
+#include <string.h>
+#define SRCLEN 6000
+char src[SRCLEN];
+long buckets[128];
+int main() {
+	char *kw = "if else while for return long int char struct ";
+	long kwlen = strlen(kw);
+	long i;
+	for (i = 0; i < SRCLEN; i++) {
+		long k = (i * 7 + (i >> 3)) & 63;
+		if (k < kwlen) src[i] = kw[k];
+		else src[i] = (char)('a' + k - kwlen);
+	}
+	src[SRCLEN-1] = 0;
+	long tokens = 0;
+	long idents = 0;
+	i = 0;
+	while (src[i]) {
+		while (src[i] == ' ') i++;
+		if (!src[i]) break;
+		long start = i;
+		while (src[i] && src[i] != ' ') i++;
+		tokens++;
+		long h = 0;
+		long j;
+		for (j = start; j < i; j++) h = h * 131 + src[j];
+		h = h & 127;
+		buckets[h]++;
+		if (i - start > 4) idents++;
+	}
+	long big = 0;
+	for (i = 0; i < 128; i++) if (buckets[i] > big) big = buckets[i];
+	printf("gcc: tokens=%d idents=%d maxbucket=%d\n", tokens, idents, big);
+	return 0;
+}
+`},
+
+	// doduc: Monte-Carlo-ish reactor kernel — replaced by fixed-point
+	// Newton square roots (divide-heavy, tight loops).
+	{Name: "doduc", Src: `
+#include <stdio.h>
+long isqrt(long v) {
+	if (v < 2) return v;
+	long x = v;
+	long y = (x + 1) / 2;
+	while (y < x) {
+		x = y;
+		y = (x + v / x) / 2;
+	}
+	return x;
+}
+int main() {
+	long sum = 0;
+	long i;
+	for (i = 1; i < 220; i++) {
+		sum += isqrt(i * i + i);
+		sum = sum & 0xffffff;
+	}
+	printf("doduc: sum=%d\n", sum);
+	return 0;
+}
+`},
+
+	// mdljdp2: molecular dynamics — pairwise integer force accumulation
+	// over particle arrays.
+	{Name: "mdljdp2", Src: `
+#include <stdio.h>
+#define NP 40
+long px[NP]; long py[NP]; long pz[NP];
+long fx[NP]; long fy[NP]; long fz[NP];
+int main() {
+	long i, j, step;
+	for (i = 0; i < NP; i++) {
+		px[i] = (i * 37) % 256;
+		py[i] = (i * 53) % 256;
+		pz[i] = (i * 71) % 256;
+	}
+	for (step = 0; step < 3; step++) {
+		for (i = 0; i < NP; i++) { fx[i] = 0; fy[i] = 0; fz[i] = 0; }
+		for (i = 0; i < NP; i++)
+			for (j = i + 1; j < NP; j++) {
+				long dx = px[i] - px[j];
+				long dy = py[i] - py[j];
+				long dz = pz[i] - pz[j];
+				long d2 = dx*dx + dy*dy + dz*dz + 1;
+				long f = 4096 / d2;
+				fx[i] += f * dx; fx[j] -= f * dx;
+				fy[i] += f * dy; fy[j] -= f * dy;
+				fz[i] += f * dz; fz[j] -= f * dz;
+			}
+		for (i = 0; i < NP; i++) {
+			px[i] = (px[i] + (fx[i] >> 6)) & 255;
+			py[i] = (py[i] + (fy[i] >> 6)) & 255;
+			pz[i] = (pz[i] + (fz[i] >> 6)) & 255;
+		}
+	}
+	long h = 0;
+	for (i = 0; i < NP; i++) h = h * 31 + px[i] + py[i] + pz[i];
+	printf("mdljdp2: hash=%x\n", h & 0xffffffff);
+	return 0;
+}
+`},
+
+	// wave5: 1-D wave-equation time stepping (stencil loads/stores).
+	{Name: "wave5", Src: `
+#include <stdio.h>
+#define N 1200
+long u0[N]; long u1[N]; long u2[N];
+int main() {
+	long i, t;
+	for (i = 0; i < N; i++) {
+		u0[i] = 0;
+		u1[i] = 0;
+	}
+	u1[N/2] = 1 << 16;
+	u0[N/2] = 1 << 16;
+	for (t = 0; t < 10; t++) {
+		for (i = 1; i < N - 1; i++)
+			u2[i] = 2*u1[i] - u0[i] + ((u1[i-1] - 2*u1[i] + u1[i+1]) >> 2);
+		for (i = 0; i < N; i++) { u0[i] = u1[i]; u1[i] = u2[i]; }
+	}
+	long h = 0;
+	for (i = 0; i < N; i++) h = h * 17 + (u1[i] & 0xffff);
+	printf("wave5: hash=%x\n", h & 0xffffffff);
+	return 0;
+}
+`},
+
+	// hydro2d: 2-D hydrodynamics stencil sweep.
+	{Name: "hydro2d", Src: `
+#include <stdio.h>
+#define H 40
+#define W 48
+long grid[H][W];
+long next[H][W];
+int main() {
+	long r, c, t;
+	for (r = 0; r < H; r++)
+		for (c = 0; c < W; c++)
+			grid[r][c] = ((r * 131 + c * 17) % 997) << 4;
+	for (t = 0; t < 6; t++) {
+		for (r = 1; r < H - 1; r++)
+			for (c = 1; c < W - 1; c++)
+				next[r][c] = (grid[r-1][c] + grid[r+1][c] + grid[r][c-1] + grid[r][c+1] + 4*grid[r][c]) >> 3;
+		for (r = 1; r < H - 1; r++)
+			for (c = 1; c < W - 1; c++)
+				grid[r][c] = next[r][c];
+	}
+	long h = 0;
+	for (r = 0; r < H; r++) h = h * 31 + grid[r][W/2];
+	printf("hydro2d: hash=%x\n", h & 0xffffffff);
+	return 0;
+}
+`},
+
+	// ora: optical ray tracing — integer ray/sphere intersection tests.
+	{Name: "ora", Src: `
+#include <stdio.h>
+long isqrt2(long v) {
+	long x = v;
+	long y;
+	if (v < 2) return v;
+	y = (x + 1) / 2;
+	while (y < x) { x = y; y = (x + v / x) / 2; }
+	return x;
+}
+int main() {
+	long hitCount = 0;
+	long depthSum = 0;
+	long ray;
+	for (ray = 0; ray < 200; ray++) {
+		long ox = (ray * 7) % 200 - 100;
+		long oy = (ray * 13) % 200 - 100;
+		long dx = 3; long dy = 4; long dz = 12;
+		long cx = 10; long cy = -5; long r2 = 60 * 60;
+		/* closest approach of ray to sphere center, fixed point */
+		long px = ox - cx;
+		long py = oy - cy;
+		long b = px * dx + py * dy;
+		long c = px * px + py * py - r2;
+		long disc = b * b - (dx*dx + dy*dy + dz*dz) * c / 8;
+		if (disc > 0) {
+			hitCount++;
+			depthSum += isqrt2(disc) & 0xff;
+		}
+	}
+	printf("ora: hits=%d depth=%d\n", hitCount, depthSum);
+	return 0;
+}
+`},
+
+	// alvinn: neural-net training — integer perceptron epochs over a
+	// small weight matrix (multiply-accumulate sweeps).
+	{Name: "alvinn", Src: `
+#include <stdio.h>
+#define IN 32
+#define OUT 8
+long w[OUT][IN];
+long inp[IN];
+int main() {
+	long e, o, i;
+	for (o = 0; o < OUT; o++)
+		for (i = 0; i < IN; i++)
+			w[o][i] = (o * 7 + i * 3) % 17 - 8;
+	long seed = 5;
+	for (e = 0; e < 80; e++) {
+		for (i = 0; i < IN; i++) {
+			seed = seed * 1103515245 + 12345;
+			inp[i] = (seed >> 20) & 15;
+		}
+		for (o = 0; o < OUT; o++) {
+			long act = 0;
+			for (i = 0; i < IN; i++) act += w[o][i] * inp[i];
+			long target = (o * 64) - 200;
+			long err = target - act;
+			if (err > 8 || err < -8) {
+				long delta = err >> 5;
+				for (i = 0; i < IN; i++)
+					w[o][i] += delta * inp[i] >> 6;
+			}
+		}
+	}
+	long h = 0;
+	for (o = 0; o < OUT; o++)
+		for (i = 0; i < IN; i++) h = h * 31 + w[o][i];
+	printf("alvinn: hash=%x\n", h & 0xffffffff);
+	return 0;
+}
+`},
+
+	// ear: human-ear model (FFT flavor) — integer butterfly passes.
+	{Name: "ear", Src: `
+#include <stdio.h>
+#define N 1024
+long re[N]; long im[N];
+int main() {
+	long i;
+	for (i = 0; i < N; i++) {
+		re[i] = (i * 97) % 512 - 256;
+		im[i] = 0;
+	}
+	long span = N / 2;
+	while (span >= 1) {
+		for (i = 0; i < N; i++) {
+			long partner = i ^ span;
+			if (partner > i) {
+				long tr = re[i] + re[partner];
+				long ti = im[i] + im[partner];
+				long br = re[i] - re[partner];
+				long bi = im[i] - im[partner];
+				/* twiddle approximation: rotate by shifting */
+				re[i] = tr; im[i] = ti;
+				re[partner] = br - (bi >> 3);
+				im[partner] = bi + (br >> 3);
+			}
+		}
+		span = span >> 1;
+	}
+	long h = 0;
+	for (i = 0; i < N; i++) h = h * 13 + (re[i] & 0xfff) + (im[i] & 0xfff);
+	printf("ear: hash=%x\n", h & 0xffffffff);
+	return 0;
+}
+`},
+
+	// swm256: shallow-water model — coupled 2-D stencils.
+	{Name: "swm256", Src: `
+#include <stdio.h>
+#define D 32
+long u[D][D]; long v[D][D]; long p[D][D];
+int main() {
+	long i, j, t;
+	for (i = 0; i < D; i++)
+		for (j = 0; j < D; j++) {
+			u[i][j] = (i * 13 + j) % 100;
+			v[i][j] = (j * 17 + i) % 100;
+			p[i][j] = 1000 + ((i + j) % 50);
+		}
+	for (t = 0; t < 6; t++) {
+		for (i = 1; i < D - 1; i++)
+			for (j = 1; j < D - 1; j++) {
+				long du = p[i+1][j] - p[i-1][j];
+				long dv = p[i][j+1] - p[i][j-1];
+				u[i][j] += du >> 3;
+				v[i][j] += dv >> 3;
+			}
+		for (i = 1; i < D - 1; i++)
+			for (j = 1; j < D - 1; j++)
+				p[i][j] -= (u[i+1][j] - u[i-1][j] + v[i][j+1] - v[i][j-1]) >> 4;
+	}
+	long h = 0;
+	for (i = 0; i < D; i++) h = h * 41 + p[i][i];
+	printf("swm256: hash=%x\n", h & 0xffffffff);
+	return 0;
+}
+`},
+
+	// su2cor: quantum chromodynamics — dense integer matrix multiply.
+	{Name: "su2cor", Src: `
+#include <stdio.h>
+#define M 32
+long a[M][M]; long b[M][M]; long c[M][M];
+int main() {
+	long i, j, k;
+	for (i = 0; i < M; i++)
+		for (j = 0; j < M; j++) {
+			a[i][j] = (i * M + j) % 43 - 21;
+			b[i][j] = (j * M + i) % 37 - 18;
+		}
+	long rep;
+	for (rep = 0; rep < 1; rep++) {
+		for (i = 0; i < M; i++)
+			for (j = 0; j < M; j++) {
+				long s = 0;
+				for (k = 0; k < M; k++) s += a[i][k] * b[k][j];
+				c[i][j] = s & 0xffff;
+			}
+		for (i = 0; i < M; i++)
+			for (j = 0; j < M; j++) a[i][j] = c[i][j] % 53 - 26;
+	}
+	long h = 0;
+	for (i = 0; i < M; i++) h = h * 31 + c[i][i];
+	printf("su2cor: hash=%x\n", h & 0xffffffff);
+	return 0;
+}
+`},
+
+	// nasa7: numerical kernels — transpose, reduction, and banded solve.
+	{Name: "nasa7", Src: `
+#include <stdio.h>
+#define K 44
+long m[K][K];
+long vec[K];
+int main() {
+	long i, j, pass;
+	for (i = 0; i < K; i++) {
+		for (j = 0; j < K; j++) m[i][j] = (i * 29 + j * 31) % 211;
+		vec[i] = i + 1;
+	}
+	for (pass = 0; pass < 8; pass++) {
+		/* transpose */
+		for (i = 0; i < K; i++)
+			for (j = i + 1; j < K; j++) {
+				long t = m[i][j];
+				m[i][j] = m[j][i];
+				m[j][i] = t;
+			}
+		/* matrix-vector */
+		for (i = 0; i < K; i++) {
+			long s = 0;
+			for (j = 0; j < K; j++) s += m[i][j] * vec[j];
+			vec[i] = (s >> 7) % 1000 + 1;
+		}
+	}
+	long h = 0;
+	for (i = 0; i < K; i++) h = h * 31 + vec[i];
+	printf("nasa7: hash=%x\n", h & 0xffffffff);
+	return 0;
+}
+`},
+
+	// fpppp: electron integrals — deep arithmetic expressions, large
+	// straight-line basic blocks (stresses per-block tooling least).
+	{Name: "fpppp", Src: `
+#include <stdio.h>
+int main() {
+	long acc = 1;
+	long x;
+	for (x = 1; x < 7000; x++) {
+		long t1 = x * x + 3 * x + 7;
+		long t2 = t1 * x - 5 * t1 + 11;
+		long t3 = t2 * t2 + t1 * x;
+		long t4 = t3 - (t2 << 2) + (t1 >> 1);
+		long t5 = t4 * 3 + t3 * 5 + t2 * 7 + t1 * 11;
+		long t6 = t5 ^ (t4 << 1) ^ (t3 >> 2);
+		long t7 = t6 + t5 + t4 + t3 + t2 + t1;
+		long t8 = t7 * t1 - t6 * t2 + t5 * t3;
+		acc = (acc + t8) & 0xffffffff;
+	}
+	printf("fpppp: acc=%x\n", acc);
+	return 0;
+}
+`},
+
+	// tomcatv: mesh generation — two coupled stencil arrays with
+	// convergence test (extra branching in the inner loop).
+	{Name: "tomcatv", Src: `
+#include <stdio.h>
+#define T 50
+long xg[T][T]; long yg[T][T];
+int main() {
+	long i, j, iter;
+	for (i = 0; i < T; i++)
+		for (j = 0; j < T; j++) {
+			xg[i][j] = i << 8;
+			yg[i][j] = j << 8;
+		}
+	for (iter = 0; iter < 12; iter++) {
+		long maxerr = 0;
+		for (i = 1; i < T - 1; i++)
+			for (j = 1; j < T - 1; j++) {
+				long nx = (xg[i-1][j] + xg[i+1][j] + xg[i][j-1] + xg[i][j+1]) >> 2;
+				long ny = (yg[i-1][j] + yg[i+1][j] + yg[i][j-1] + yg[i][j+1]) >> 2;
+				long ex = nx - xg[i][j];
+				long ey = ny - yg[i][j];
+				if (ex < 0) ex = -ex;
+				if (ey < 0) ey = -ey;
+				if (ex > maxerr) maxerr = ex;
+				if (ey > maxerr) maxerr = ey;
+				xg[i][j] = nx;
+				yg[i][j] = ny;
+			}
+		if (maxerr == 0) break;
+	}
+	long h = 0;
+	for (i = 0; i < T; i++) h = h * 61 + xg[i][i] + yg[i][T-1-i];
+	printf("tomcatv: hash=%x\n", h & 0xffffffff);
+	return 0;
+}
+`},
+
+	// spice: circuit simulation — sparse matrix via linked lists,
+	// malloc-heavy with pointer chasing.
+	{Name: "spice", Src: `
+#include <stdio.h>
+#include <stdlib.h>
+struct elem {
+	long row;
+	long val;
+	struct elem *next;
+};
+struct elem *cols[64];
+int main() {
+	long seed = 271828;
+	long n;
+	for (n = 0; n < 2600; n++) {
+		seed = seed * 6364136223846793005 + 1442695040888963407;
+		long c = (seed >> 33) & 63;
+		struct elem *e = (struct elem *) malloc(sizeof(struct elem));
+		e->row = (seed >> 40) & 1023;
+		e->val = (seed >> 17) & 0xffff;
+		e->next = cols[c];
+		cols[c] = e;
+	}
+	/* iterative relaxation over columns */
+	long pass;
+	long h = 0;
+	for (pass = 0; pass < 10; pass++) {
+		long c;
+		for (c = 0; c < 64; c++) {
+			struct elem *e = cols[c];
+			long s = 0;
+			while (e) {
+				s += e->val;
+				if (e->row & 1) s -= e->val >> 2;
+				e = e->next;
+			}
+			h = h * 33 + (s & 0xffff);
+		}
+	}
+	printf("spice: hash=%x\n", h & 0xffffffff);
+	return 0;
+}
+`},
+
+	// queens: integer backtracking search (deep recursion, dense
+	// conditional branches) — stands in for the integer search component.
+	{Name: "queens", Src: `
+#include <stdio.h>
+long colUsed[16];
+long diag1[32];
+long diag2[32];
+long solutions;
+long N;
+void place(long row) {
+	if (row == N) { solutions++; return; }
+	long c;
+	for (c = 0; c < N; c++) {
+		if (colUsed[c] || diag1[row + c] || diag2[row - c + N]) continue;
+		colUsed[c] = 1; diag1[row + c] = 1; diag2[row - c + N] = 1;
+		place(row + 1);
+		colUsed[c] = 0; diag1[row + c] = 0; diag2[row - c + N] = 0;
+	}
+}
+int main() {
+	N = 8;
+	place(0);
+	printf("queens: n=%d solutions=%d\n", N, solutions);
+	return 0;
+}
+`},
+}

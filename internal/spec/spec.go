@@ -1,0 +1,72 @@
+// Package spec provides the synthetic workload suite standing in for the
+// 20 SPEC92 programs of the paper's evaluation (Figures 5 and 6).
+//
+// SPEC92 itself is licensed, Fortran-heavy, and sized for 1990s hardware,
+// so each member here is a small deterministic MiniC program named after
+// the SPEC92 component whose *instrumentation-site profile* it imitates:
+// the mix of conditional branches, memory references, basic-block sizes,
+// procedure calls, mallocs and system calls is what drives every ratio in
+// Figure 6, not the particular numerics. Floating-point members are
+// replaced by integer kernels with the same access patterns (the ISA
+// subset is integer-only; see DESIGN.md).
+//
+// Every program prints a checksum so instrumented-run output can be
+// compared bit-for-bit against the uninstrumented run, and runs a few
+// hundred thousand to a few million instructions — large enough to
+// amortize tool startup/report costs the way SPEC-scale runs do.
+package spec
+
+import (
+	"fmt"
+	"sync"
+
+	"atom/internal/aout"
+	"atom/internal/rtl"
+)
+
+// Program is one suite member.
+type Program struct {
+	Name string
+	Src  string
+	// Stdin and FS are supplied to the VM when running.
+	Stdin []byte
+	FS    map[string][]byte
+}
+
+// Suite returns the 20 programs in a stable order.
+func Suite() []Program { return programs }
+
+// ByName returns the named program.
+func ByName(name string) (Program, bool) {
+	for _, p := range programs {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Program{}, false
+}
+
+var (
+	buildMu    sync.Mutex
+	buildCache = map[string]*aout.File{}
+)
+
+// Build compiles and links a suite program, caching the result. The
+// returned file must not be mutated.
+func Build(name string) (*aout.File, error) {
+	buildMu.Lock()
+	defer buildMu.Unlock()
+	if exe, ok := buildCache[name]; ok {
+		return exe, nil
+	}
+	p, ok := ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("spec: unknown program %q", name)
+	}
+	exe, err := rtl.BuildProgram(p.Name+".c", p.Src)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %s: %w", name, err)
+	}
+	buildCache[name] = exe
+	return exe, nil
+}

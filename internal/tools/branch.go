@@ -1,0 +1,242 @@
+package tools
+
+import (
+	"atom/internal/core"
+)
+
+// branch: evaluates branch prediction using a 2-bit saturating-counter
+// history table, one entry per static conditional branch (paper Figure 5:
+// "prediction using 2-bit history table"; instruments each conditional
+// branch with 3 arguments).
+func init() {
+	register(core.Tool{
+		Name:        "branch",
+		Description: "branch prediction using 2-bit history table",
+		Analysis: map[string]string{
+			"branch_anal.c": `
+#include <stdio.h>
+#include <stdlib.h>
+
+struct BrEntry {
+	long state;   /* 2-bit counter: 0,1 predict not-taken; 2,3 taken */
+	long taken;
+	long notTaken;
+	long mispred;
+	long pc;
+};
+struct BrEntry *br;
+long nbr;
+
+void BrInit(long n) {
+	br = (struct BrEntry *) calloc(n, sizeof(struct BrEntry));
+	nbr = n;
+	/* weakly not-taken initial state */
+	long i;
+	for (i = 0; i < n; i++) br[i].state = 1;
+}
+
+void BrDone(void) {
+	FILE *f = fopen("branch.out", "w");
+	long i;
+	long execs = 0;
+	long miss = 0;
+	long live = 0;
+	for (i = 0; i < nbr; i++) {
+		long t = br[i].taken + br[i].notTaken;
+		if (t == 0) continue;
+		live++;
+		execs += t;
+		miss += br[i].mispred;
+	}
+	fprintf(f, "static branches: %d\n", nbr);
+	fprintf(f, "executed branches: %d\n", live);
+	fprintf(f, "dynamic branches: %d\n", execs);
+	fprintf(f, "mispredictions: %d\n", miss);
+	if (execs > 0)
+		fprintf(f, "accuracy: %d/1000\n", (execs - miss) * 1000 / execs);
+	fprintf(f, "PC\ttaken\tnot-taken\tmispredicted\n");
+	for (i = 0; i < nbr; i++) {
+		if (br[i].taken + br[i].notTaken == 0) continue;
+		fprintf(f, "0x%x\t%d\t%d\t%d\n", br[i].pc, br[i].taken, br[i].notTaken, br[i].mispred);
+	}
+	fclose(f);
+}
+`,
+			// The per-event routine is hand-scheduled assembly, standing
+			// in for the optimizing compiler the paper's analysis code
+			// was built with. Layout matches struct BrEntry above:
+			// state/taken/notTaken/mispred/pc at offsets 0/8/16/24/32.
+			"branch_fast.s": `
+	.text
+	.globl BrBranch
+	.ent BrBranch
+BrBranch:
+	la t0, br
+	ldq t0, 0(t0)
+	mulq a0, 40, t1
+	addq t0, t1, t0		# e = &br[n]
+	stq a2, 32(t0)		# e->pc = pc
+	ldq t1, 0(t0)		# state
+	beq a1, .Lnottaken
+	ldq t2, 8(t0)		# e->taken++
+	addq t2, 1, t2
+	stq t2, 8(t0)
+	cmplt t1, 2, t2		# predicted not-taken? mispredict
+	beq t2, .Lsat_up
+	ldq t3, 24(t0)
+	addq t3, 1, t3
+	stq t3, 24(t0)
+.Lsat_up:
+	cmplt t1, 3, t2
+	beq t2, .Ldone
+	addq t1, 1, t1
+	stq t1, 0(t0)
+	ret (ra)
+.Lnottaken:
+	ldq t2, 16(t0)		# e->notTaken++
+	addq t2, 1, t2
+	stq t2, 16(t0)
+	cmple t1, 1, t2		# predicted taken? mispredict
+	bne t2, .Lsat_down
+	ldq t3, 24(t0)
+	addq t3, 1, t3
+	stq t3, 24(t0)
+.Lsat_down:
+	ble t1, .Ldone
+	subq t1, 1, t1
+	stq t1, 0(t0)
+.Ldone:
+	ret (ra)
+	.end BrBranch
+`,
+		},
+		Instrument: func(q *core.Instrumentation) error {
+			if err := q.AddCallProto("BrInit(int)"); err != nil {
+				return err
+			}
+			if err := q.AddCallProto("BrBranch(int, VALUE, long)"); err != nil {
+				return err
+			}
+			if err := q.AddCallProto("BrDone()"); err != nil {
+				return err
+			}
+			n := 0
+			for p := q.GetFirstProc(); p != nil; p = q.GetNextProc(p) {
+				for b := q.GetFirstBlock(p); b != nil; b = q.GetNextBlock(b) {
+					inst := q.GetLastInst(b)
+					if !q.IsInstType(inst, core.InstTypeCondBr) {
+						continue
+					}
+					if err := q.AddCallInst(inst, core.InstBefore, "BrBranch",
+						n, core.BrCondValue, int64(q.InstPC(inst))); err != nil {
+						return err
+					}
+					n++
+				}
+			}
+			if err := q.AddCallProgram(core.ProgramBefore, "BrInit", n); err != nil {
+				return err
+			}
+			return q.AddCallProgram(core.ProgramAfter, "BrDone")
+		},
+	})
+}
+
+// dyninst: computes dynamic instruction counts by instrumenting each
+// basic block with 3 arguments (block id, size, pc).
+func init() {
+	register(core.Tool{
+		Name:        "dyninst",
+		Description: "computes dynamic instruction counts",
+		Analysis: map[string]string{
+			"dyninst_anal.c": `
+#include <stdio.h>
+#include <stdlib.h>
+
+long *counts;
+long *sizes;
+long *pcs;
+long nblocks;
+
+void DynInit(long n) {
+	counts = (long *) calloc(n, sizeof(long));
+	sizes = (long *) calloc(n, sizeof(long));
+	pcs = (long *) calloc(n, sizeof(long));
+	nblocks = n;
+}
+
+void DynDone(void) {
+	FILE *f = fopen("dyninst.out", "w");
+	long total = 0;
+	long blocks = 0;
+	long i;
+	for (i = 0; i < nblocks; i++) {
+		total += counts[i] * sizes[i];
+		blocks += counts[i];
+	}
+	fprintf(f, "static blocks: %d\n", nblocks);
+	fprintf(f, "dynamic blocks: %d\n", blocks);
+	fprintf(f, "dynamic instructions: %d\n", total);
+	fprintf(f, "PC\texecs\tinsts\n");
+	for (i = 0; i < nblocks; i++) {
+		if (counts[i] == 0) continue;
+		fprintf(f, "0x%x\t%d\t%d\n", pcs[i], counts[i], counts[i] * sizes[i]);
+	}
+	fclose(f);
+}
+`,
+			"dyninst_fast.s": `
+	.text
+	.globl DynBlock
+	.ent DynBlock
+DynBlock:
+	la t0, counts
+	ldq t0, 0(t0)
+	s8addq a0, t0, t0	# &counts[id]
+	ldq t1, 0(t0)
+	addq t1, 1, t1
+	stq t1, 0(t0)
+	la t0, sizes
+	ldq t0, 0(t0)
+	s8addq a0, t0, t0
+	stq a1, 0(t0)
+	la t0, pcs
+	ldq t0, 0(t0)
+	s8addq a0, t0, t0
+	stq a2, 0(t0)
+	ret (ra)
+	.end DynBlock
+`,
+		},
+		Instrument: func(q *core.Instrumentation) error {
+			if err := q.AddCallProto("DynInit(int)"); err != nil {
+				return err
+			}
+			if err := q.AddCallProto("DynBlock(int, int, long)"); err != nil {
+				return err
+			}
+			if err := q.AddCallProto("DynDone()"); err != nil {
+				return err
+			}
+			id := 0
+			for p := q.GetFirstProc(); p != nil; p = q.GetNextProc(p) {
+				for b := q.GetFirstBlock(p); b != nil; b = q.GetNextBlock(b) {
+					ninst := 0
+					for in := q.GetFirstInst(b); in != nil; in = q.GetNextInst(in) {
+						ninst++
+					}
+					first := q.GetFirstInst(b)
+					if err := q.AddCallBlock(b, core.BlockBefore, "DynBlock",
+						id, ninst, int64(q.InstPC(first))); err != nil {
+						return err
+					}
+					id++
+				}
+			}
+			if err := q.AddCallProgram(core.ProgramBefore, "DynInit", id); err != nil {
+				return err
+			}
+			return q.AddCallProgram(core.ProgramAfter, "DynDone")
+		},
+	})
+}

@@ -1,0 +1,207 @@
+package tools
+
+import (
+	"strconv"
+
+	"atom/internal/core"
+)
+
+// cache: models a direct-mapped 8 KB data cache with 32-byte lines by
+// instrumenting every load and store with the effective address (paper
+// Figure 5: "model direct mapped 8k byte cache"; one argument per
+// reference). Tool arguments override the geometry: arg0 = cache bytes,
+// arg1 = line bytes — used by the cache-sweep example and benches.
+func init() {
+	register(core.Tool{
+		Name:        "cache",
+		Description: "model direct mapped 8k byte cache",
+		Analysis: map[string]string{
+			"cache_anal.c": `
+#include <stdio.h>
+#include <stdlib.h>
+
+long *tags;
+long nlines;
+long lineshift;
+long hits;
+long misses;
+long cachebytes;
+long linebytes;
+
+void CacheInit(long cbytes, long lbytes) {
+	cachebytes = cbytes;
+	linebytes = lbytes;
+	nlines = cbytes / lbytes;
+	lineshift = 0;
+	while ((1 << lineshift) < lbytes) lineshift++;
+	tags = (long *) malloc(nlines * sizeof(long));
+	long i;
+	for (i = 0; i < nlines; i++) tags[i] = -1;
+}
+
+void CacheDone(void) {
+	FILE *f = fopen("cache.out", "w");
+	long refs = hits + misses;
+	fprintf(f, "cache: %d bytes, %d-byte lines, direct mapped\n", cachebytes, linebytes);
+	fprintf(f, "references: %d\n", refs);
+	fprintf(f, "hits: %d\n", hits);
+	fprintf(f, "misses: %d\n", misses);
+	if (refs > 0)
+		fprintf(f, "miss rate: %d/10000\n", misses * 10000 / refs);
+	fclose(f);
+}
+`,
+			"cache_fast.s": `
+	.text
+	.globl CacheRef
+	.ent CacheRef
+CacheRef:
+	la t0, lineshift
+	ldq t1, 0(t0)
+	srl a0, t1, t1		# line
+	la t0, nlines
+	ldq t2, 0(t0)
+	subq t2, 1, t2
+	and t1, t2, t2		# idx
+	la t0, tags
+	ldq t0, 0(t0)
+	s8addq t2, t0, t2	# &tags[idx]
+	ldq t3, 0(t2)
+	subq t3, t1, t3
+	bne t3, .Lmiss
+	la t0, hits
+	ldq t3, 0(t0)
+	addq t3, 1, t3
+	stq t3, 0(t0)
+	ret (ra)
+.Lmiss:
+	stq t1, 0(t2)
+	la t0, misses
+	ldq t3, 0(t0)
+	addq t3, 1, t3
+	stq t3, 0(t0)
+	ret (ra)
+	.end CacheRef
+`,
+		},
+		Instrument: func(q *core.Instrumentation) error {
+			if err := q.AddCallProto("CacheInit(long, long)"); err != nil {
+				return err
+			}
+			if err := q.AddCallProto("CacheRef(VALUE)"); err != nil {
+				return err
+			}
+			if err := q.AddCallProto("CacheDone()"); err != nil {
+				return err
+			}
+			cacheBytes, lineBytes := int64(8192), int64(32)
+			if a := q.Args(); len(a) >= 1 {
+				if v, err := strconv.ParseInt(a[0], 0, 64); err == nil && v > 0 {
+					cacheBytes = v
+				}
+			}
+			if a := q.Args(); len(a) >= 2 {
+				if v, err := strconv.ParseInt(a[1], 0, 64); err == nil && v > 0 {
+					lineBytes = v
+				}
+			}
+			for p := q.GetFirstProc(); p != nil; p = q.GetNextProc(p) {
+				for b := q.GetFirstBlock(p); b != nil; b = q.GetNextBlock(b) {
+					for in := q.GetFirstInst(b); in != nil; in = q.GetNextInst(in) {
+						if q.IsInstType(in, core.InstTypeLoad) || q.IsInstType(in, core.InstTypeStore) {
+							if err := q.AddCallInst(in, core.InstBefore, "CacheRef", core.EffAddrValue); err != nil {
+								return err
+							}
+						}
+					}
+				}
+			}
+			if err := q.AddCallProgram(core.ProgramBefore, "CacheInit", cacheBytes, lineBytes); err != nil {
+				return err
+			}
+			return q.AddCallProgram(core.ProgramAfter, "CacheDone")
+		},
+	})
+}
+
+// unalign: reports memory references whose effective address is not
+// naturally aligned. Stack- and zero-based references are statically
+// aligned in compiled code and are skipped, as the original tool skipped
+// references it could prove aligned; that selectivity is why its
+// overhead sits near the block-counting tools in Figure 6 rather than
+// near cache.
+func init() {
+	register(core.Tool{
+		Name:        "unalign",
+		Description: "unaligned access tool",
+		Analysis: map[string]string{
+			"unalign_anal.c": `
+#include <stdio.h>
+
+long checked;
+long unaligned;
+long lastpc;
+
+void UnalignDone(void) {
+	FILE *f = fopen("unalign.out", "w");
+	fprintf(f, "checked references: %d\n", checked);
+	fprintf(f, "unaligned references: %d\n", unaligned);
+	if (unaligned > 0)
+		fprintf(f, "last unaligned pc: 0x%x\n", lastpc);
+	fclose(f);
+}
+`,
+			"unalign_fast.s": `
+	.text
+	.globl UnalignRef
+	.ent UnalignRef
+UnalignRef:
+	la t0, checked
+	ldq t1, 0(t0)
+	addq t1, 1, t1
+	stq t1, 0(t0)
+	subq a1, 1, t1
+	and a0, t1, t1
+	beq t1, .Laligned
+	la t0, unaligned
+	ldq t1, 0(t0)
+	addq t1, 1, t1
+	stq t1, 0(t0)
+	la t0, lastpc
+	stq a2, 0(t0)
+.Laligned:
+	ret (ra)
+	.end UnalignRef
+`,
+		},
+		Instrument: func(q *core.Instrumentation) error {
+			if err := q.AddCallProto("UnalignRef(VALUE, int, long)"); err != nil {
+				return err
+			}
+			if err := q.AddCallProto("UnalignDone()"); err != nil {
+				return err
+			}
+			for p := q.GetFirstProc(); p != nil; p = q.GetNextProc(p) {
+				for b := q.GetFirstBlock(p); b != nil; b = q.GetNextBlock(b) {
+					for in := q.GetFirstInst(b); in != nil; in = q.GetNextInst(in) {
+						sz := q.InstMemBytes(in)
+						if sz <= 1 {
+							continue
+						}
+						if !q.IsInstType(in, core.InstTypeLoad) && !q.IsInstType(in, core.InstTypeStore) {
+							continue
+						}
+						if q.InstBaseIsAligned(in) {
+							continue
+						}
+						if err := q.AddCallInst(in, core.InstBefore, "UnalignRef",
+							core.EffAddrValue, sz, int64(q.InstPC(in))); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			return q.AddCallProgram(core.ProgramAfter, "UnalignDone")
+		},
+	})
+}

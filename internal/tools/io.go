@@ -1,0 +1,224 @@
+package tools
+
+import (
+	"fmt"
+
+	"atom/internal/alpha"
+	"atom/internal/core"
+)
+
+// io: input/output summary — instruments entry to and return from the
+// write routine (paper Figure 5: "input/output summary tool";
+// before/after the write procedure, 4 arguments).
+func init() {
+	register(core.Tool{
+		Name:        "io",
+		Description: "input/output summary tool",
+		Analysis: map[string]string{
+			"io_anal.c": `
+#include <stdio.h>
+
+static long writeCalls;
+static long writeReq;
+static long writeDone;
+static long readCalls;
+static long readReq;
+static long readDone;
+
+void IoWrite(long fd, long buf, long len, long pc) {
+	writeCalls++;
+	writeReq += len;
+}
+
+void IoWriteRet(long ret) {
+	if (ret > 0) writeDone += ret;
+}
+
+void IoRead(long fd, long buf, long len, long pc) {
+	readCalls++;
+	readReq += len;
+}
+
+void IoReadRet(long ret) {
+	if (ret > 0) readDone += ret;
+}
+
+void IoDone(void) {
+	FILE *f = fopen("io.out", "w");
+	fprintf(f, "write calls: %d\n", writeCalls);
+	fprintf(f, "bytes requested: %d\n", writeReq);
+	fprintf(f, "bytes written: %d\n", writeDone);
+	fprintf(f, "read calls: %d\n", readCalls);
+	fprintf(f, "bytes requested (read): %d\n", readReq);
+	fprintf(f, "bytes read: %d\n", readDone);
+	fclose(f);
+}
+`,
+		},
+		Instrument: func(q *core.Instrumentation) error {
+			for _, pr := range []string{
+				"IoWrite(REGV, REGV, REGV, long)", "IoWriteRet(REGV)",
+				"IoRead(REGV, REGV, REGV, long)", "IoReadRet(REGV)",
+				"IoDone()",
+			} {
+				if err := q.AddCallProto(pr); err != nil {
+					return err
+				}
+			}
+			hook := func(proc, enter, leave string) error {
+				for p := q.GetFirstProc(); p != nil; p = q.GetNextProc(p) {
+					if q.ProcName(p) != proc {
+						continue
+					}
+					if err := q.AddCallProc(p, core.ProcBefore, enter,
+						core.RegV(alpha.A0), core.RegV(alpha.A1), core.RegV(alpha.A2), int64(q.ProcPC(p))); err != nil {
+						return err
+					}
+					return q.AddCallProc(p, core.ProcAfter, leave, core.RegV(alpha.V0))
+				}
+				return fmt.Errorf("io tool: application has no %q procedure", proc)
+			}
+			if err := hook("__sys_write", "IoWrite", "IoWriteRet"); err != nil {
+				return err
+			}
+			if err := hook("__sys_read", "IoRead", "IoReadRet"); err != nil {
+				return err
+			}
+			return q.AddCallProgram(core.ProgramAfter, "IoDone")
+		},
+	})
+}
+
+// malloc: histogram of dynamic-memory request sizes — instruments entry
+// to malloc (paper Figure 5: "histogram of dynamic memory"; before/after
+// the malloc procedure, 1 argument).
+func init() {
+	register(core.Tool{
+		Name:        "malloc",
+		Description: "histogram of dynamic memory",
+		Analysis: map[string]string{
+			"malloc_anal.c": `
+#include <stdio.h>
+
+/* log2 buckets: <=16, <=32, ..., <=2^20, larger */
+static long buckets[18];
+static long calls;
+static long total;
+
+void MlCall(long size) {
+	calls++;
+	total += size;
+	long b = 0;
+	long cap = 16;
+	while (size > cap && b < 17) { cap = cap * 2; b++; }
+	buckets[b]++;
+}
+
+void MlDone(void) {
+	FILE *f = fopen("malloc.out", "w");
+	fprintf(f, "malloc calls: %d\n", calls);
+	fprintf(f, "bytes requested: %d\n", total);
+	fprintf(f, "size-class\tcount\n");
+	long cap = 16;
+	long b;
+	for (b = 0; b < 18; b++) {
+		if (buckets[b]) {
+			if (b < 17) fprintf(f, "<=%d\t%d\n", cap, buckets[b]);
+			else fprintf(f, ">%d\t%d\n", cap / 2, buckets[b]);
+		}
+		cap = cap * 2;
+	}
+	fclose(f);
+}
+`,
+		},
+		Instrument: func(q *core.Instrumentation) error {
+			if err := q.AddCallProto("MlCall(REGV)"); err != nil {
+				return err
+			}
+			if err := q.AddCallProto("MlDone()"); err != nil {
+				return err
+			}
+			found := false
+			for p := q.GetFirstProc(); p != nil; p = q.GetNextProc(p) {
+				if q.ProcName(p) != "malloc" {
+					continue
+				}
+				if err := q.AddCallProc(p, core.ProcBefore, "MlCall", core.RegV(alpha.A0)); err != nil {
+					return err
+				}
+				found = true
+			}
+			if !found {
+				return fmt.Errorf("malloc tool: application has no malloc procedure")
+			}
+			return q.AddCallProgram(core.ProgramAfter, "MlDone")
+		},
+	})
+}
+
+// syscall: counts system calls by PAL function, instrumenting each
+// CALL_PAL site (paper Figure 5: "system call summary tool"; before/after
+// each system call, 2 arguments).
+func init() {
+	register(core.Tool{
+		Name:        "syscall",
+		Description: "system call summary tool",
+		Analysis: map[string]string{
+			"syscall_anal.c": `
+#include <stdio.h>
+
+static long counts[16];
+static long rets[16];
+
+void ScEnter(long fn, long pc) {
+	if (fn >= 0 && fn < 16) counts[fn]++;
+}
+
+void ScLeave(long fn, long ret) {
+	if (fn >= 0 && fn < 16 && ret >= 0) rets[fn]++;
+}
+
+void ScDone(void) {
+	FILE *f = fopen("syscall.out", "w");
+	char *names[8];
+	names[0] = "exit"; names[1] = "write"; names[2] = "read"; names[3] = "open";
+	names[4] = "close"; names[5] = "sbrk"; names[6] = "cycles"; names[7] = "sbrk2";
+	fprintf(f, "syscall\tcalls\tok\n");
+	long i;
+	for (i = 0; i < 8; i++) {
+		if (counts[i] == 0) continue;
+		fprintf(f, "%s\t%d\t%d\n", names[i], counts[i], rets[i]);
+	}
+	fclose(f);
+}
+`,
+		},
+		Instrument: func(q *core.Instrumentation) error {
+			for _, pr := range []string{"ScEnter(int, long)", "ScLeave(int, REGV)", "ScDone()"} {
+				if err := q.AddCallProto(pr); err != nil {
+					return err
+				}
+			}
+			for p := q.GetFirstProc(); p != nil; p = q.GetNextProc(p) {
+				for b := q.GetFirstBlock(p); b != nil; b = q.GetNextBlock(b) {
+					for in := q.GetFirstInst(b); in != nil; in = q.GetNextInst(in) {
+						if !q.IsInstType(in, core.InstTypePal) {
+							continue
+						}
+						fn := int64(q.InstPalFn(in))
+						if err := q.AddCallInst(in, core.InstBefore, "ScEnter", fn, int64(q.InstPC(in))); err != nil {
+							return err
+						}
+						if fn != int64(alpha.PalHalt) {
+							if err := q.AddCallInst(in, core.InstAfter, "ScLeave", fn, core.RegV(alpha.V0)); err != nil {
+								return err
+							}
+						}
+					}
+				}
+			}
+			return q.AddCallProgram(core.ProgramAfter, "ScDone")
+		},
+	})
+}

@@ -1,0 +1,149 @@
+package tools
+
+import (
+	"atom/internal/alpha"
+	"atom/internal/core"
+	"atom/internal/om"
+)
+
+// pipe: pipeline stall accounting. At instrumentation time the tool
+// statically schedules each basic block on a dual-issue in-order pipeline
+// model (the paper: "The pipe tool does static CPU pipeline scheduling
+// for each basic block at instrumentation time and takes more time to
+// instrument"); at run time each block contributes its scheduled cycle
+// count, giving total cycles, stalls, and a CPI estimate.
+func init() {
+	register(core.Tool{
+		Name:        "pipe",
+		Description: "pipeline stall tool",
+		Analysis: map[string]string{
+			"pipe_anal.c": `
+#include <stdio.h>
+
+long cycles;
+long insts;
+long blocks;
+
+void PipeDone(void) {
+	FILE *f = fopen("pipe.out", "w");
+	fprintf(f, "dynamic blocks: %d\n", blocks);
+	fprintf(f, "dynamic instructions: %d\n", insts);
+	fprintf(f, "modeled cycles: %d\n", cycles);
+	fprintf(f, "stall cycles: %d\n", cycles - (insts + 1) / 2);
+	if (insts > 0)
+		fprintf(f, "cpi: %d/1000\n", cycles * 1000 / insts);
+	fclose(f);
+}
+`,
+			"pipe_fast.s": `
+	.text
+	.globl PipeBlock
+	.ent PipeBlock
+PipeBlock:
+	la t0, cycles
+	ldq t1, 0(t0)
+	addq t1, a0, t1
+	stq t1, 0(t0)
+	la t0, insts
+	ldq t1, 0(t0)
+	addq t1, a1, t1
+	stq t1, 0(t0)
+	la t0, blocks
+	ldq t1, 0(t0)
+	addq t1, 1, t1
+	stq t1, 0(t0)
+	ret (ra)
+	.end PipeBlock
+`,
+		},
+		Instrument: func(q *core.Instrumentation) error {
+			if err := q.AddCallProto("PipeBlock(int, int)"); err != nil {
+				return err
+			}
+			if err := q.AddCallProto("PipeDone()"); err != nil {
+				return err
+			}
+			for p := q.GetFirstProc(); p != nil; p = q.GetNextProc(p) {
+				for b := q.GetFirstBlock(p); b != nil; b = q.GetNextBlock(b) {
+					cycles, n := ScheduleBlock(q, b)
+					if err := q.AddCallBlock(b, core.BlockBefore, "PipeBlock", cycles, n); err != nil {
+						return err
+					}
+				}
+			}
+			return q.AddCallProgram(core.ProgramAfter, "PipeDone")
+		},
+	})
+}
+
+// Operation latencies for the pipeline model, loosely following the
+// 21064: loads 3 cycles, 32-bit multiply 8, 64-bit multiply and umulh
+// 12, everything else 1.
+func latency(op alpha.Op) int64 {
+	switch {
+	case op.IsLoad():
+		return 3
+	case op == alpha.OpMull:
+		return 8
+	case op == alpha.OpMulq, op == alpha.OpUmulh:
+		return 12
+	}
+	return 1
+}
+
+// ScheduleBlock statically schedules one basic block on a dual-issue
+// in-order machine: up to two instructions issue per cycle, at most one
+// of them a memory operation and at most one a branch/jump; an
+// instruction cannot issue until its source registers are ready. It
+// returns the modeled cycle count and the instruction count.
+//
+// Exported so the ablation benchmarks can exercise the scheduler
+// directly.
+func ScheduleBlock(q *core.Instrumentation, b *om.Block) (cycles int64, n int) {
+	var ready [alpha.NumRegs]int64 // cycle at which each register is ready
+	var cycle int64                // current issue cycle
+	slots := 0                     // instructions issued this cycle
+	memUsed := false
+	brUsed := false
+
+	var regs []alpha.Reg
+	for in := q.GetFirstInst(b); in != nil; in = q.GetNextInst(in) {
+		n++
+		i := in.I
+		// Earliest cycle all operands are ready.
+		minCycle := cycle
+		regs = i.ReadsRegs(regs[:0])
+		for _, r := range regs {
+			if ready[r] > minCycle {
+				minCycle = ready[r]
+			}
+		}
+		isMem := i.Op.MemBytes() > 0
+		isBr := i.Op.Format() == alpha.FormatBranch || i.Op.Format() == alpha.FormatJump
+		// Structural constraints: advance to a cycle with a free slot of
+		// the right kind.
+		for {
+			if minCycle > cycle {
+				cycle = minCycle
+				slots, memUsed, brUsed = 0, false, false
+			}
+			if slots >= 2 || (isMem && memUsed) || (isBr && brUsed) {
+				cycle++
+				slots, memUsed, brUsed = 0, false, false
+				continue
+			}
+			break
+		}
+		slots++
+		if isMem {
+			memUsed = true
+		}
+		if isBr {
+			brUsed = true
+		}
+		if w, ok := i.WritesReg(); ok {
+			ready[w] = cycle + latency(i.Op)
+		}
+	}
+	return cycle + 1, n
+}

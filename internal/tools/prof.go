@@ -1,0 +1,288 @@
+package tools
+
+import (
+	"atom/internal/core"
+)
+
+// gprof: call-graph-based profiling — counts calls into each procedure
+// and attributes dynamic instructions to it (paper Figure 5: "call graph
+// based profiling tool"; instruments each procedure and each basic block
+// with 2 arguments).
+func init() {
+	register(core.Tool{
+		Name:        "gprof",
+		Description: "call graph based profiling tool",
+		Analysis: map[string]string{
+			"gprof_anal.c": `
+#include <stdio.h>
+#include <stdlib.h>
+
+long *calls;
+long *insts;
+long nprocs;
+static FILE *out;
+
+void GpInit(long n) {
+	calls = (long *) calloc(n, sizeof(long));
+	insts = (long *) calloc(n, sizeof(long));
+	nprocs = n;
+	out = fopen("gprof.out", "w");
+	fprintf(out, "procedure\tcalls\tinsts\n");
+}
+
+void GpProc(long id, char *name) {
+	if (calls[id] == 0 && insts[id] == 0) return;
+	fprintf(out, "%s\t%d\t%d\n", name, calls[id], insts[id]);
+}
+
+void GpDone(void) {
+	fclose(out);
+}
+`,
+			"gprof_fast.s": `
+	.text
+	.globl GpEnter
+	.ent GpEnter
+GpEnter:
+	la t0, calls
+	ldq t0, 0(t0)
+	s8addq a0, t0, t0
+	ldq t1, 0(t0)
+	addq t1, 1, t1
+	stq t1, 0(t0)
+	ret (ra)
+	.end GpEnter
+
+	.globl GpBlock
+	.ent GpBlock
+GpBlock:
+	la t0, insts
+	ldq t0, 0(t0)
+	s8addq a0, t0, t0
+	ldq t1, 0(t0)
+	addq t1, a1, t1
+	stq t1, 0(t0)
+	ret (ra)
+	.end GpBlock
+`,
+		},
+		Instrument: func(q *core.Instrumentation) error {
+			for _, pr := range []string{"GpInit(int)", "GpEnter(int, int)", "GpBlock(int, int)", "GpProc(int, char*)", "GpDone()"} {
+				if err := q.AddCallProto(pr); err != nil {
+					return err
+				}
+			}
+			id := 0
+			for p := q.GetFirstProc(); p != nil; p = q.GetNextProc(p) {
+				if err := q.AddCallProc(p, core.ProcBefore, "GpEnter", id, 0); err != nil {
+					return err
+				}
+				for b := q.GetFirstBlock(p); b != nil; b = q.GetNextBlock(b) {
+					n := 0
+					for in := q.GetFirstInst(b); in != nil; in = q.GetNextInst(in) {
+						n++
+					}
+					if err := q.AddCallBlock(b, core.BlockBefore, "GpBlock", id, n); err != nil {
+						return err
+					}
+				}
+				if err := q.AddCallProgram(core.ProgramAfter, "GpProc", id, q.ProcName(p)); err != nil {
+					return err
+				}
+				id++
+			}
+			if err := q.AddCallProgram(core.ProgramBefore, "GpInit", id); err != nil {
+				return err
+			}
+			return q.AddCallProgram(core.ProgramAfter, "GpDone")
+		},
+	})
+}
+
+// prof: flat instruction profiling — dynamic instructions per procedure
+// (paper Figure 5: "Instruction profiling tool"; each procedure / basic
+// block, 2 arguments).
+func init() {
+	register(core.Tool{
+		Name:        "prof",
+		Description: "instruction profiling tool",
+		Analysis: map[string]string{
+			"prof_anal.c": `
+#include <stdio.h>
+#include <stdlib.h>
+
+long *pfinsts;
+long pfnprocs;
+static FILE *out;
+
+void PfInit(long n) {
+	pfinsts = (long *) calloc(n, sizeof(long));
+	pfnprocs = n;
+}
+
+void PfProc(long id, char *name) {
+	if (pfinsts[id] == 0) return;
+	fprintf(out, "%s\t%d\n", name, pfinsts[id]);
+}
+
+void PfDone(void) {
+	fclose(out);
+}
+
+void PfOpen(void) {
+	long total = 0;
+	long i;
+	for (i = 0; i < pfnprocs; i++) total += pfinsts[i];
+	out = fopen("prof.out", "w");
+	fprintf(out, "total instructions: %d\n", total);
+	fprintf(out, "procedure\tinsts\n");
+}
+`,
+			"prof_fast.s": `
+	.text
+	.globl PfBlock
+	.ent PfBlock
+PfBlock:
+	la t0, pfinsts
+	ldq t0, 0(t0)
+	s8addq a0, t0, t0
+	ldq t1, 0(t0)
+	addq t1, a1, t1
+	stq t1, 0(t0)
+	ret (ra)
+	.end PfBlock
+`,
+		},
+		Instrument: func(q *core.Instrumentation) error {
+			for _, pr := range []string{"PfInit(int)", "PfBlock(int, int)", "PfOpen()", "PfProc(int, char*)", "PfDone()"} {
+				if err := q.AddCallProto(pr); err != nil {
+					return err
+				}
+			}
+			id := 0
+			var reports []func() error
+			for p := q.GetFirstProc(); p != nil; p = q.GetNextProc(p) {
+				for b := q.GetFirstBlock(p); b != nil; b = q.GetNextBlock(b) {
+					n := 0
+					for in := q.GetFirstInst(b); in != nil; in = q.GetNextInst(in) {
+						n++
+					}
+					if err := q.AddCallBlock(b, core.BlockBefore, "PfBlock", id, n); err != nil {
+						return err
+					}
+				}
+				pid, pname := id, q.ProcName(p)
+				reports = append(reports, func() error {
+					return q.AddCallProgram(core.ProgramAfter, "PfProc", pid, pname)
+				})
+				id++
+			}
+			if err := q.AddCallProgram(core.ProgramBefore, "PfInit", id); err != nil {
+				return err
+			}
+			if err := q.AddCallProgram(core.ProgramAfter, "PfOpen"); err != nil {
+				return err
+			}
+			for _, r := range reports {
+				if err := r(); err != nil {
+					return err
+				}
+			}
+			return q.AddCallProgram(core.ProgramAfter, "PfDone")
+		},
+	})
+}
+
+// inline: finds potential inlining call sites by counting executions of
+// every direct call site (paper Figure 5: "finds potential inlining call
+// sites"; each call site, 1 argument).
+func init() {
+	register(core.Tool{
+		Name:        "inline",
+		Description: "finds potential inlining call sites",
+		Analysis: map[string]string{
+			"inline_anal.c": `
+#include <stdio.h>
+#include <stdlib.h>
+
+long *incounts;
+long innsites;
+static FILE *out;
+
+void InInit(long n) {
+	incounts = (long *) calloc(n, sizeof(long));
+	innsites = n;
+}
+
+void InOpen(void) {
+	out = fopen("inline.out", "w");
+	fprintf(out, "call-site\tcallee\tcount\n");
+}
+
+void InReport(long id, long pc, char *callee) {
+	if (incounts[id] == 0) return;
+	fprintf(out, "0x%x\t%s\t%d\n", pc, callee, incounts[id]);
+}
+
+void InDone(void) {
+	fclose(out);
+}
+`,
+			"inline_fast.s": `
+	.text
+	.globl InSite
+	.ent InSite
+InSite:
+	la t0, incounts
+	ldq t0, 0(t0)
+	s8addq a0, t0, t0
+	ldq t1, 0(t0)
+	addq t1, 1, t1
+	stq t1, 0(t0)
+	ret (ra)
+	.end InSite
+`,
+		},
+		Instrument: func(q *core.Instrumentation) error {
+			for _, pr := range []string{"InInit(int)", "InSite(int)", "InOpen()", "InReport(int, long, char*)", "InDone()"} {
+				if err := q.AddCallProto(pr); err != nil {
+					return err
+				}
+			}
+			type site struct {
+				pc     uint64
+				callee string
+			}
+			var sites []site
+			for p := q.GetFirstProc(); p != nil; p = q.GetNextProc(p) {
+				for b := q.GetFirstBlock(p); b != nil; b = q.GetNextBlock(b) {
+					for in := q.GetFirstInst(b); in != nil; in = q.GetNextInst(in) {
+						if !q.IsInstType(in, core.InstTypeCall) {
+							continue
+						}
+						callee, ok := q.GetProcCalled(in)
+						if !ok {
+							callee = "<indirect>"
+						}
+						if err := q.AddCallInst(in, core.InstBefore, "InSite", len(sites)); err != nil {
+							return err
+						}
+						sites = append(sites, site{q.InstPC(in), callee})
+					}
+				}
+			}
+			if err := q.AddCallProgram(core.ProgramBefore, "InInit", len(sites)); err != nil {
+				return err
+			}
+			if err := q.AddCallProgram(core.ProgramAfter, "InOpen"); err != nil {
+				return err
+			}
+			for i, s := range sites {
+				if err := q.AddCallProgram(core.ProgramAfter, "InReport", i, int64(s.pc), s.callee); err != nil {
+					return err
+				}
+			}
+			return q.AddCallProgram(core.ProgramAfter, "InDone")
+		},
+	})
+}

@@ -1,0 +1,50 @@
+// Package tools provides the eleven analysis tools the paper evaluates
+// (Figure 5): branch, cache, dyninst, gprof, inline, io, malloc, pipe,
+// prof, syscall, and unalign. Each is a complete ATOM tool — a Go
+// instrumentation routine plus MiniC analysis routines — built on the
+// core package exactly as a user of the original system would write them
+// in C.
+//
+// Each tool writes its report to "<name>.out" in the program's working
+// directory (the VM's in-memory filesystem).
+package tools
+
+import (
+	"fmt"
+	"sort"
+
+	"atom/internal/core"
+)
+
+var registry = map[string]core.Tool{}
+var order []string
+
+func register(t core.Tool) {
+	if _, dup := registry[t.Name]; dup {
+		panic(fmt.Sprintf("tools: duplicate tool %q", t.Name))
+	}
+	registry[t.Name] = t
+	order = append(order, t.Name)
+}
+
+// Names returns the registered tool names, sorted.
+func Names() []string {
+	out := append([]string(nil), order...)
+	sort.Strings(out)
+	return out
+}
+
+// ByName returns the named tool.
+func ByName(name string) (core.Tool, bool) {
+	t, ok := registry[name]
+	return t, ok
+}
+
+// All returns every registered tool, sorted by name.
+func All() []core.Tool {
+	var out []core.Tool
+	for _, n := range Names() {
+		out = append(out, registry[n])
+	}
+	return out
+}

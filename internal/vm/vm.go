@@ -1,0 +1,406 @@
+// Package vm executes linked executables for the Alpha instruction
+// subset. It stands in for the Alpha AXP hardware and the OSF/1 kernel in
+// the paper's environment; everything above it — linking, instrumentation,
+// the two-copies-of-libc discipline, the sbrk schemes — is real binary
+// manipulation, exactly as in ATOM. The VM itself performs no
+// instrumentation and knows nothing about analysis routines.
+//
+// Memory layout follows the paper (Figure 4 and footnote 10): the stack
+// begins at the start of the text segment and grows toward low memory;
+// the heap starts at the end of uninitialized data and grows toward high
+// memory. System services are provided through CALL_PAL, standing in for
+// OSF/1 PALcode + syscalls: exit, read, write, open, close, sbrk (two
+// zones, for ATOM's partitioned-heap option), and a cycle counter.
+//
+// The machine retires one instruction per "cycle"; the dynamic
+// instruction count is the deterministic stand-in for execution time when
+// reproducing Figure 6 (ratios of instrumented to uninstrumented runs).
+package vm
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+
+	"atom/internal/alpha"
+	"atom/internal/aout"
+)
+
+// Config parameterizes a machine.
+type Config struct {
+	// MemSize is the size of the flat address space. Zero selects 64 MiB.
+	MemSize uint64
+	// Args are the program arguments (argv[0] is the program name and is
+	// supplied separately as Arg0; if Arg0 is empty, "a.out" is used).
+	Arg0 string
+	Args []string
+	// Stdin is the byte stream served to fd 0.
+	Stdin []byte
+	// FS maps path -> contents for the in-memory filesystem served by
+	// open/read. Files written by the program appear in Machine.FSOut.
+	FS map[string][]byte
+	// MaxInstr bounds execution; 0 selects 2e9. Exceeding it is an error
+	// (runaway or non-terminating program).
+	MaxInstr uint64
+	// AnalysisHeapOffset is the offset at which the analysis sbrk zone
+	// begins, relative to the heap base. Zero links the two sbrk zones
+	// (ATOM's default scheme: both allocate from the same heap, each
+	// starting where the other left off).
+	AnalysisHeapOffset uint64
+	// Trace, when non-nil, receives one disassembled line per retired
+	// instruction — for debugging tools and inserted code. Slow.
+	Trace io.Writer
+}
+
+// Machine is one running instance.
+type Machine struct {
+	Mem []byte
+	Reg [alpha.NumRegs]int64
+	PC  uint64
+
+	// Statistics.
+	Icount    uint64 // instructions retired
+	Loads     uint64
+	Stores    uint64
+	Unaligned uint64 // memory accesses not naturally aligned (kernel-fixup equivalent)
+
+	// Stdout and Stderr accumulate writes to fds 1 and 2.
+	Stdout []byte
+	Stderr []byte
+	// FSOut holds the final contents of files created or rewritten by
+	// the program, keyed by path (populated at close or exit).
+	FSOut map[string][]byte
+
+	exe      *aout.File
+	cfg      Config
+	textEnd  uint64
+	heapBase uint64
+	brk      uint64 // application zone break
+	brk2     uint64 // analysis zone break (== brk storage when linked)
+	brk2Sep  bool
+	files    []*openFile
+	stdinPos int
+	halted   bool
+	exitCode int
+}
+
+type openFile struct {
+	path    string
+	reading bool
+	data    []byte
+	pos     int
+	closed  bool
+}
+
+// New loads an executable into a fresh machine.
+func New(exe *aout.File, cfg Config) (*Machine, error) {
+	if !exe.Linked {
+		return nil, fmt.Errorf("vm: executable is not linked")
+	}
+	if cfg.MemSize == 0 {
+		cfg.MemSize = 64 << 20
+	}
+	if cfg.MaxInstr == 0 {
+		cfg.MaxInstr = 2_000_000_000
+	}
+	bssEnd := exe.BssAddr + exe.Bss
+	if bssEnd > cfg.MemSize || exe.TextAddr+uint64(len(exe.Text)) > cfg.MemSize {
+		return nil, fmt.Errorf("vm: image (ends %#x) exceeds memory size %#x", bssEnd, cfg.MemSize)
+	}
+	m := &Machine{
+		Mem:   make([]byte, cfg.MemSize),
+		exe:   exe,
+		cfg:   cfg,
+		FSOut: map[string][]byte{},
+	}
+	copy(m.Mem[exe.TextAddr:], exe.Text)
+	copy(m.Mem[exe.DataAddr:], exe.Data)
+	m.textEnd = exe.TextAddr + uint64(len(exe.Text))
+	m.heapBase = align8(bssEnd)
+	m.brk = m.heapBase
+	m.brk2 = m.heapBase + cfg.AnalysisHeapOffset
+	m.brk2Sep = cfg.AnalysisHeapOffset != 0
+	m.PC = exe.Entry
+
+	// fds 0,1,2 are pre-opened.
+	m.files = []*openFile{
+		{path: "<stdin>", reading: true, data: cfg.Stdin},
+		{path: "<stdout>"},
+		{path: "<stderr>"},
+	}
+
+	// Build the initial stack: strings, argv array, argc; sp points at
+	// argc. The stack base is the start of text, growing down.
+	sp := exe.TextAddr
+	args := append([]string{cfg.Arg0}, cfg.Args...)
+	if args[0] == "" {
+		args[0] = "a.out"
+	}
+	ptrs := make([]uint64, len(args))
+	for i := len(args) - 1; i >= 0; i-- {
+		b := append([]byte(args[i]), 0)
+		sp -= uint64(len(b))
+		copy(m.Mem[sp:], b)
+		ptrs[i] = sp
+	}
+	sp &^= 7
+	sp -= 8 // argv NULL terminator
+	for i := len(ptrs) - 1; i >= 0; i-- {
+		sp -= 8
+		m.put64(sp, ptrs[i])
+	}
+	sp -= 8
+	m.put64(sp, uint64(len(args)))
+	m.Reg[alpha.SP] = int64(sp)
+	return m, nil
+}
+
+func align8(v uint64) uint64 { return (v + 7) &^ 7 }
+
+func (m *Machine) put64(addr, v uint64) {
+	for i := 0; i < 8; i++ {
+		m.Mem[addr+uint64(i)] = byte(v >> (8 * i))
+	}
+}
+
+// Exited reports whether the program has halted, and its exit status.
+func (m *Machine) Exited() (bool, int) { return m.halted, m.exitCode }
+
+// Run executes until the program halts, fuel is exhausted, or a fault
+// occurs. It returns the exit status.
+func (m *Machine) Run() (int, error) {
+	for !m.halted {
+		if m.Icount >= m.cfg.MaxInstr {
+			return 0, fmt.Errorf("vm: instruction budget %d exhausted at pc %#x", m.cfg.MaxInstr, m.PC)
+		}
+		if err := m.Step(); err != nil {
+			return 0, err
+		}
+	}
+	return m.exitCode, nil
+}
+
+// Step executes a single instruction.
+func (m *Machine) Step() error {
+	if m.halted {
+		return fmt.Errorf("vm: step after halt")
+	}
+	if m.PC < m.exe.TextAddr || m.PC+4 > m.textEnd || m.PC%4 != 0 {
+		return m.faultf("instruction fetch from %#x outside text", m.PC)
+	}
+	w := uint32(m.Mem[m.PC]) | uint32(m.Mem[m.PC+1])<<8 | uint32(m.Mem[m.PC+2])<<16 | uint32(m.Mem[m.PC+3])<<24
+	inst, err := alpha.Decode(w)
+	if err != nil {
+		return m.faultf("%v", err)
+	}
+	if m.cfg.Trace != nil {
+		fmt.Fprintf(m.cfg.Trace, "%#x: %s\n", m.PC, inst)
+	}
+	m.Icount++
+	next := m.PC + 4
+
+	switch inst.Op {
+	case alpha.OpCallPal:
+		done, err := m.pal(inst.PalFn)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+
+	case alpha.OpLda:
+		m.set(inst.Ra, m.Reg[inst.Rb]+int64(inst.Disp))
+	case alpha.OpLdah:
+		m.set(inst.Ra, m.Reg[inst.Rb]+int64(inst.Disp)<<16)
+
+	case alpha.OpLdbu, alpha.OpLdwu, alpha.OpLdl, alpha.OpLdq:
+		v, err := m.load(inst)
+		if err != nil {
+			return err
+		}
+		m.set(inst.Ra, v)
+
+	case alpha.OpStb, alpha.OpStw, alpha.OpStl, alpha.OpStq:
+		if err := m.store(inst); err != nil {
+			return err
+		}
+
+	case alpha.OpBr, alpha.OpBsr:
+		m.set(inst.Ra, int64(next))
+		next = uint64(int64(next) + int64(inst.Disp)*4)
+
+	case alpha.OpBlbc, alpha.OpBeq, alpha.OpBlt, alpha.OpBle, alpha.OpBlbs, alpha.OpBne, alpha.OpBge, alpha.OpBgt:
+		if inst.CondHolds(m.Reg[inst.Ra]) {
+			next = uint64(int64(next) + int64(inst.Disp)*4)
+		}
+
+	case alpha.OpJmp, alpha.OpJsr, alpha.OpRet:
+		target := uint64(m.Reg[inst.Rb]) &^ 3
+		m.set(inst.Ra, int64(next))
+		next = target
+
+	default:
+		v, err := m.operate(inst)
+		if err != nil {
+			return err
+		}
+		m.set(inst.Rc, v)
+	}
+	m.PC = next
+	return nil
+}
+
+func (m *Machine) set(r alpha.Reg, v int64) {
+	if r != alpha.Zero {
+		m.Reg[r] = v
+	}
+}
+
+// rbOrLit returns the second operand of an operate instruction.
+func (m *Machine) rbOrLit(i alpha.Inst) int64 {
+	if i.HasLit {
+		return int64(i.Lit)
+	}
+	return m.Reg[i.Rb]
+}
+
+func (m *Machine) operate(i alpha.Inst) (int64, error) {
+	a := m.Reg[i.Ra]
+	b := m.rbOrLit(i)
+	switch i.Op {
+	case alpha.OpAddl:
+		return int64(int32(a + b)), nil
+	case alpha.OpSubl:
+		return int64(int32(a - b)), nil
+	case alpha.OpAddq:
+		return a + b, nil
+	case alpha.OpSubq:
+		return a - b, nil
+	case alpha.OpS4addq:
+		return a*4 + b, nil
+	case alpha.OpS8addq:
+		return a*8 + b, nil
+	case alpha.OpCmpeq:
+		return b2i(a == b), nil
+	case alpha.OpCmplt:
+		return b2i(a < b), nil
+	case alpha.OpCmple:
+		return b2i(a <= b), nil
+	case alpha.OpCmpult:
+		return b2i(uint64(a) < uint64(b)), nil
+	case alpha.OpCmpule:
+		return b2i(uint64(a) <= uint64(b)), nil
+	case alpha.OpAnd:
+		return a & b, nil
+	case alpha.OpBic:
+		return a &^ b, nil
+	case alpha.OpBis:
+		return a | b, nil
+	case alpha.OpOrnot:
+		return a | ^b, nil
+	case alpha.OpXor:
+		return a ^ b, nil
+	case alpha.OpEqv:
+		return a ^ ^b, nil
+	case alpha.OpCmoveq:
+		if a == 0 {
+			return b, nil
+		}
+		return m.Reg[i.Rc], nil
+	case alpha.OpCmovne:
+		if a != 0 {
+			return b, nil
+		}
+		return m.Reg[i.Rc], nil
+	case alpha.OpSll:
+		return a << (uint64(b) & 63), nil
+	case alpha.OpSrl:
+		return int64(uint64(a) >> (uint64(b) & 63)), nil
+	case alpha.OpSra:
+		return a >> (uint64(b) & 63), nil
+	case alpha.OpMull:
+		return int64(int32(a * b)), nil
+	case alpha.OpMulq:
+		return a * b, nil
+	case alpha.OpUmulh:
+		return umulh(uint64(a), uint64(b)), nil
+	}
+	return 0, m.faultf("unimplemented operate %s", i.Op)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func umulh(a, b uint64) int64 {
+	hi, _ := bits.Mul64(a, b)
+	return int64(hi)
+}
+
+func (m *Machine) checkAddr(addr uint64, size int) error {
+	if addr < 4096 {
+		return m.faultf("null-page access at %#x", addr)
+	}
+	if addr+uint64(size) > uint64(len(m.Mem)) {
+		return m.faultf("access at %#x beyond memory", addr)
+	}
+	return nil
+}
+
+func (m *Machine) load(i alpha.Inst) (int64, error) {
+	addr := uint64(m.Reg[i.Rb] + int64(i.Disp))
+	size := i.Op.MemBytes()
+	if err := m.checkAddr(addr, size); err != nil {
+		return 0, err
+	}
+	m.Loads++
+	if addr%uint64(size) != 0 {
+		m.Unaligned++
+	}
+	var v uint64
+	for j := size - 1; j >= 0; j-- {
+		v = v<<8 | uint64(m.Mem[addr+uint64(j)])
+	}
+	switch i.Op {
+	case alpha.OpLdl:
+		return int64(int32(v)), nil
+	default:
+		return int64(v), nil
+	}
+}
+
+func (m *Machine) store(i alpha.Inst) error {
+	addr := uint64(m.Reg[i.Rb] + int64(i.Disp))
+	size := i.Op.MemBytes()
+	if err := m.checkAddr(addr, size); err != nil {
+		return err
+	}
+	m.Stores++
+	if addr%uint64(size) != 0 {
+		m.Unaligned++
+	}
+	v := uint64(m.Reg[i.Ra])
+	for j := 0; j < size; j++ {
+		m.Mem[addr+uint64(j)] = byte(v >> (8 * j))
+	}
+	return nil
+}
+
+func (m *Machine) faultf(format string, args ...any) error {
+	return fmt.Errorf("vm: fault at pc %#x (icount %d): %s", m.PC, m.Icount, fmt.Sprintf(format, args...))
+}
+
+// Paths returns the sorted list of files written by the program.
+func (m *Machine) Paths() []string {
+	var out []string
+	for p := range m.FSOut {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
