@@ -1,0 +1,31 @@
+# Development targets. `make ci` is the gate: vet, build, race-enabled
+# tests, and a one-iteration benchmark smoke so the Figure 5/6 harness
+# cannot rot silently.
+
+GO ?= go
+
+.PHONY: all build vet test race benchsmoke bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Every benchmark once, no measurement: proves the harness still runs.
+benchsmoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Real measurements (slow); see EXPERIMENTS.md for recorded numbers.
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+ci: vet build race benchsmoke

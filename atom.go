@@ -32,6 +32,7 @@ import (
 	"fmt"
 
 	"atom/internal/aout"
+	"atom/internal/build"
 	"atom/internal/core"
 	"atom/internal/rtl"
 	"atom/internal/tools"
@@ -80,10 +81,38 @@ func BuildProgram(sources map[string]string) (*Executable, error) {
 	return rtl.BuildProgramMulti(sources)
 }
 
-// Instrument applies a tool to an application.
+// Instrument applies a tool to an application. The tool's analysis image
+// is built once per (tool, options) and cached; instrumenting further
+// programs with the same tool pays only the per-program rewrite (the
+// paper's two-step cost model). See also BuildToolImage/Apply for the
+// explicit form and InstrumentSuite for parallel fan-out.
 func Instrument(app *Executable, tool Tool, opts Options) (*Result, error) {
 	return core.Instrument(app, tool, opts)
 }
+
+// ToolImage is a tool's compiled and linked analysis image, independent
+// of any application; see core.ToolImage.
+type ToolImage = core.ToolImage
+
+// CacheStats is a snapshot of artifact-cache counters.
+type CacheStats = build.Stats
+
+// BuildToolImage performs the paper's first step — build the custom tool
+// — without an application in hand. The image is cached; subsequent
+// Instrument or Apply calls with the same tool and options reuse it.
+func BuildToolImage(tool Tool, opts Options) (*ToolImage, error) {
+	return core.BuildToolImage(tool, opts)
+}
+
+// Apply stamps a prebuilt tool image into an application (the second
+// step of the two-step model).
+func Apply(app *Executable, ti *ToolImage, opts Options) (*Result, error) {
+	return core.Apply(app, ti, opts)
+}
+
+// ImageCacheStats reports tool-image cache activity: hits, misses,
+// completed builds, and build errors.
+func ImageCacheStats() CacheStats { return core.ImageCacheStats() }
 
 // Tools returns the paper's eleven analysis tools.
 func Tools() []Tool { return tools.All() }

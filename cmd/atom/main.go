@@ -1,17 +1,22 @@
-// Command atom mirrors the paper's command line: it instruments a fully
-// linked application with one of the built-in analysis tools,
+// Command atom mirrors the paper's command line: it instruments fully
+// linked applications with one of the built-in analysis tools,
 //
 //	atom prog.x -t branch -o prog.atom
+//	atom -t cache -j 4 prog1.x prog2.x prog3.x
 //
 // standing in for `atom prog inst.c anal.c -o prog.atom` (instrumentation
 // routines are Go code, so the built-in tools are selected by name; use
-// the library API to write new ones).
+// the library API to write new ones). With several input programs the
+// tool's analysis image is built once and applied to each program, in
+// parallel when -j is given; each output is written next to its input
+// with the extension replaced by ".atom".
 //
 // It also regenerates the paper's evaluation artifacts:
 //
-//	atom -list              # the 11 tools
-//	atom -table fig5        # Figure 5 (instrumentation time)
-//	atom -table fig6        # Figure 6 (execution-time ratios)
+//	atom -list                      # the 11 tools
+//	atom -table fig5                # Figure 5 (instrumentation time)
+//	atom -table fig6                # Figure 6 (execution-time ratios)
+//	atom -table fig5 -bench-json f  # same, plus machine-readable JSON
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"os"
 	"strings"
 
+	"atom"
 	"atom/internal/aout"
 	"atom/internal/core"
 	"atom/internal/figures"
@@ -29,14 +35,16 @@ import (
 func main() {
 	var (
 		toolName  = flag.String("t", "", "analysis tool to apply (see -list)")
-		outPath   = flag.String("o", "a.atom", "output executable")
+		outPath   = flag.String("o", "", "output executable (single input only; default: input with .atom extension, or a.atom)")
 		toolArgs  = flag.String("args", "", "comma-separated tool arguments (iargv)")
 		mode      = flag.String("mode", "wrapper", "register-save mode: wrapper | inanalysis")
 		heapOff   = flag.Uint64("heap", 0, "partition the heap: analysis zone offset in bytes (0 = linked sbrks)")
 		noSummary = flag.Bool("nosummary", false, "disable the data-flow register summary (save all caller-save registers)")
+		jobs      = flag.Int("j", 1, "instrument up to N input programs in parallel (0 = GOMAXPROCS)")
 		list      = flag.Bool("list", false, "list the built-in tools")
 		table     = flag.String("table", "", "regenerate a paper table: fig5 | fig6")
 		progs     = flag.String("progs", "", "comma-separated suite subset for -table (default: all 20)")
+		benchJSON = flag.String("bench-json", "", "also write -table measurements as JSON to this file")
 		stats     = flag.Bool("stats", false, "print instrumentation statistics")
 		layout    = flag.Bool("layout", false, "print the instrumented executable's memory layout (Figure 4)")
 		verbose   = flag.Bool("v", false, "progress output for -table")
@@ -49,19 +57,22 @@ func main() {
 			fmt.Printf("%-8s  %s\n", t.Name, t.Description)
 		}
 		return
-	case *table != "":
-		runTable(*table, *progs, *verbose)
+	case *table != "" || *benchJSON != "":
+		which := *table
+		if which == "" {
+			which = "fig5"
+		}
+		runTable(which, *progs, *benchJSON, *verbose)
 		return
 	}
 
-	if flag.NArg() != 1 || *toolName == "" {
-		fmt.Fprintln(os.Stderr, "usage: atom prog.x -t tool [-o prog.atom] [-mode wrapper|inanalysis] [-heap N]")
-		fmt.Fprintln(os.Stderr, "       atom -list | -table fig5|fig6")
+	if flag.NArg() < 1 || *toolName == "" {
+		fmt.Fprintln(os.Stderr, "usage: atom prog.x [prog2.x ...] -t tool [-o prog.atom] [-j N] [-mode wrapper|inanalysis] [-heap N]")
+		fmt.Fprintln(os.Stderr, "       atom -list | -table fig5|fig6 [-bench-json file]")
 		os.Exit(2)
 	}
-	app, err := aout.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal(err)
+	if flag.NArg() > 1 && *outPath != "" {
+		fatal(fmt.Errorf("-o is only valid with a single input program (outputs are named <input>.atom)"))
 	}
 	tool, ok := tools.ByName(*toolName)
 	if !ok {
@@ -79,26 +90,59 @@ func main() {
 	if *toolArgs != "" {
 		opts.ToolArgs = strings.Split(*toolArgs, ",")
 	}
-	res, err := core.Instrument(app, tool, opts)
+
+	inputs := flag.Args()
+	apps := make([]*aout.File, len(inputs))
+	for i, path := range inputs {
+		app, err := aout.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		apps[i] = app
+	}
+
+	results, err := atom.InstrumentSuite(apps, tool, opts, *jobs)
 	if err != nil {
 		fatal(err)
 	}
-	if err := res.Exe.WriteFile(*outPath); err != nil {
-		fatal(err)
-	}
-	if *layout {
-		printLayout(app, res)
-	}
-	if *stats {
-		s := res.Stats
-		fmt.Printf("call sites instrumented: %d\n", s.Calls)
-		fmt.Printf("instructions inserted:   %d\n", s.InsertedInsts)
-		fmt.Printf("application text:        %d -> %d bytes\n", s.OrigText, s.InstrText)
-		fmt.Printf("analysis image:          %d text + %d data bytes\n", s.AnalysisText, s.AnalysisData)
-		if res.HeapOffset != 0 {
-			fmt.Printf("analysis heap offset:    %#x (run with the same offset)\n", res.HeapOffset)
+	for i, res := range results {
+		out := outputName(inputs[i], *outPath)
+		if err := res.Exe.WriteFile(out); err != nil {
+			fatal(err)
+		}
+		if len(inputs) > 1 && *verbose {
+			fmt.Fprintf(os.Stderr, "atom: %s -> %s\n", inputs[i], out)
+		}
+		if *layout {
+			printLayout(apps[i], res)
+		}
+		if *stats {
+			if len(inputs) > 1 {
+				fmt.Printf("%s:\n", inputs[i])
+			}
+			s := res.Stats
+			fmt.Printf("call sites instrumented: %d\n", s.Calls)
+			fmt.Printf("instructions inserted:   %d\n", s.InsertedInsts)
+			fmt.Printf("application text:        %d -> %d bytes\n", s.OrigText, s.InstrText)
+			fmt.Printf("analysis image:          %d text + %d data bytes\n", s.AnalysisText, s.AnalysisData)
+			if res.HeapOffset != 0 {
+				fmt.Printf("analysis heap offset:    %#x (run with the same offset)\n", res.HeapOffset)
+			}
 		}
 	}
+}
+
+// outputName derives an output path: an explicit -o wins (single input),
+// otherwise the input's extension is replaced by ".atom" ("a.atom" for
+// an extensionless bare name like "a").
+func outputName(input, explicit string) string {
+	if explicit != "" {
+		return explicit
+	}
+	if dot := strings.LastIndexByte(input, '.'); dot > strings.LastIndexByte(input, '/') {
+		return input[:dot] + ".atom"
+	}
+	return input + ".atom"
 }
 
 // printLayout renders the paper's Figure 4: the memory organization of
@@ -119,32 +163,38 @@ func printLayout(app *aout.File, res *core.Result) {
 	}
 }
 
-func runTable(which, progList string, verbose bool) {
+func runTable(which, progList, benchJSON string, verbose bool) {
 	var progress *os.File
 	if verbose {
 		progress = os.Stderr
 	}
+	var names []string
+	if progList != "" {
+		names = strings.Split(progList, ",")
+	}
 	switch which {
 	case "fig5":
-		var names []string
-		if progList != "" {
-			names = strings.Split(progList, ",")
-		}
 		rows, err := figures.Fig5(names, progress)
 		if err != nil {
 			fatal(err)
 		}
 		figures.PrintFig5(os.Stdout, rows)
-	case "fig6":
-		var names []string
-		if progList != "" {
-			names = strings.Split(progList, ",")
+		if benchJSON != "" {
+			if err := figures.WriteBenchJSON(benchJSON, rows, nil); err != nil {
+				fatal(err)
+			}
 		}
+	case "fig6":
 		rows, err := figures.Fig6(names, progress)
 		if err != nil {
 			fatal(err)
 		}
 		figures.PrintFig6(os.Stdout, rows)
+		if benchJSON != "" {
+			if err := figures.WriteBenchJSON(benchJSON, nil, rows); err != nil {
+				fatal(err)
+			}
+		}
 	default:
 		fatal(fmt.Errorf("unknown table %q (fig5 or fig6)", which))
 	}

@@ -1,0 +1,203 @@
+// Package build provides the content-addressed artifact cache behind the
+// staged instrumentation pipeline. The paper's two-step model builds a
+// custom tool once and applies it to any number of programs; this cache
+// is what makes "once" true in-process: compiled objects, linked analysis
+// images, and runtime-library builds are keyed by the SHA-256 of their
+// inputs (sources, options, toolchain version) and rebuilt only when any
+// input changes.
+//
+// The cache is safe for concurrent use and deduplicates in-flight builds
+// (singleflight): when several workers ask for the same artifact at the
+// same time, exactly one runs the build function and the others wait for
+// its result. Build errors are returned to every waiter but are NOT
+// cached — a later Get with the same key retries the build, so a
+// transient failure is never latched.
+package build
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// ToolchainVersion is mixed into every key. Bump it when the code
+// generators (cc, asm, link) change in ways that invalidate previously
+// built artifacts; within one process it only matters for clarity, but it
+// keeps keys honest if the cache is ever persisted.
+const ToolchainVersion = "atom-toolchain-1"
+
+// Key is a content address: the SHA-256 of an artifact's inputs.
+type Key [sha256.Size]byte
+
+// String renders the key as hex, for diagnostics.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// KeyBuilder accumulates inputs into a Key. Every field is written
+// length-prefixed, so concatenation ambiguities ("ab"+"c" vs "a"+"bc")
+// cannot collide.
+type KeyBuilder struct {
+	h hash.Hash
+}
+
+// NewKey starts a key of the given kind. The kind and the toolchain
+// version are part of the hash, so artifacts of different kinds (or
+// toolchains) can never alias.
+func NewKey(kind string) *KeyBuilder {
+	b := &KeyBuilder{h: sha256.New()}
+	return b.String(ToolchainVersion).String(kind)
+}
+
+func (b *KeyBuilder) writeLen(n int) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(n))
+	b.h.Write(buf[:])
+}
+
+// String mixes a length-prefixed string into the key.
+func (b *KeyBuilder) String(s string) *KeyBuilder {
+	b.writeLen(len(s))
+	io.WriteString(b.h, s)
+	return b
+}
+
+// Bytes mixes a length-prefixed byte slice into the key.
+func (b *KeyBuilder) Bytes(p []byte) *KeyBuilder {
+	b.writeLen(len(p))
+	b.h.Write(p)
+	return b
+}
+
+// Int mixes an integer into the key.
+func (b *KeyBuilder) Int(v int64) *KeyBuilder {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	b.h.Write(buf[:])
+	return b
+}
+
+// Bool mixes a boolean into the key.
+func (b *KeyBuilder) Bool(v bool) *KeyBuilder {
+	if v {
+		return b.Int(1)
+	}
+	return b.Int(0)
+}
+
+// Sum finalizes the key.
+func (b *KeyBuilder) Sum() Key {
+	var k Key
+	b.h.Sum(k[:0])
+	return k
+}
+
+// Stats is a snapshot of cache activity.
+type Stats struct {
+	Hits   uint64 // Gets served from a completed artifact
+	Misses uint64 // Gets that started a build
+	Builds uint64 // builds that completed successfully
+	Errors uint64 // builds that failed (and were not cached)
+}
+
+// Cache is a concurrent, singleflight, content-addressed artifact store.
+// The zero value is ready to use.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Key]*entry
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	builds atomic.Uint64
+	errs   atomic.Uint64
+}
+
+type entry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{} }
+
+// Get returns the artifact for key, running build at most once per key at
+// a time. Concurrent Gets for the same key share one build. A failed
+// build's error is returned to every caller that observed it, then the
+// key is cleared so the next Get retries.
+func (c *Cache) Get(key Key, build func() (any, error)) (any, error) {
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = map[Key]*entry{}
+	}
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.done
+		if e.err == nil {
+			c.hits.Add(1)
+		}
+		return e.val, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	e.val, e.err = build()
+	if e.err != nil {
+		// Unlatch before waking waiters: any Get arriving after close
+		// must find the key absent and retry the build.
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		c.errs.Add(1)
+	} else {
+		c.builds.Add(1)
+	}
+	close(e.done)
+	return e.val, e.err
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Builds: c.builds.Load(),
+		Errors: c.errs.Load(),
+	}
+}
+
+// Len reports the number of completed or in-flight artifacts.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Reset drops every artifact and zeroes the counters. Intended for tests
+// and cold-start benchmarks; in-flight builds complete but are not
+// re-registered.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	c.entries = nil
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.builds.Store(0)
+	c.errs.Store(0)
+}
+
+// Memo is the typed convenience wrapper over Get.
+func Memo[T any](c *Cache, key Key, build func() (T, error)) (T, error) {
+	v, err := c.Get(key, func() (any, error) { return build() })
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), nil
+}

@@ -42,6 +42,7 @@ import (
 	"fmt"
 
 	"atom/internal/aout"
+	"atom/internal/link"
 	"atom/internal/om"
 )
 
@@ -126,7 +127,54 @@ type Result struct {
 //
 // step: the custom tool is Tool, prog is app, and the result is the
 // final organized executable.
+//
+// Internally this is a staged pipeline: plan (run the instrumentation
+// routine over the application IR), tool image (compile and link the
+// analysis routines — cached, so a suite of programs builds it once),
+// and apply (rewrite the application and stamp the image into its
+// text-data gap).
 func Instrument(app *aout.File, tool Tool, opts Options) (*Result, error) {
+	q, err := planFor(app, tool, opts)
+	if err != nil {
+		return nil, err
+	}
+	ti, err := toolImageFor(tool, opts, q)
+	if err != nil {
+		return nil, err
+	}
+	return applyPlan(app, q, ti, opts)
+}
+
+// Apply stamps a prebuilt tool image into an application: the second
+// step of the paper's two-step model, with the first step (BuildToolImage)
+// already paid for. The tool's instrumentation routine still runs per
+// application — call sites are application-specific — but no analysis
+// code is compiled or linked. If the plan turns out to need a different
+// image than the one supplied (the tool's options changed, or the
+// in-analysis save mode is being applied to a program mix that calls
+// different procedures), the right image is fetched — or built — from
+// the cache transparently.
+func Apply(app *aout.File, ti *ToolImage, opts Options) (*Result, error) {
+	if ti == nil {
+		return nil, fmt.Errorf("atom: Apply called with a nil tool image")
+	}
+	q, err := planFor(app, ti.tool, opts)
+	if err != nil {
+		return nil, err
+	}
+	use := ti
+	if key := imageKey(ti.tool, opts, q.protos, calledTargets(q)); key != ti.key {
+		if use, err = toolImageFor(ti.tool, opts, q); err != nil {
+			return nil, err
+		}
+	}
+	return applyPlan(app, q, use, opts)
+}
+
+// planFor runs the tool's instrumentation routine over the application
+// and returns the resulting plan: declared prototypes, the journal of
+// call insertions, and interned constant blobs.
+func planFor(app *aout.File, tool Tool, opts Options) (*Instrumentation, error) {
 	if tool.Instrument == nil {
 		return nil, fmt.Errorf("atom: tool %q has no instrumentation routine", tool.Name)
 	}
@@ -142,13 +190,27 @@ func Instrument(app *aout.File, tool Tool, opts Options) (*Result, error) {
 	if err := tool.Instrument(q); err != nil {
 		return nil, fmt.Errorf("atom: instrumentation routine for %q: %w", tool.Name, err)
 	}
+	return q, nil
+}
 
-	ai, err := compileAnalysis(q, tool.Analysis)
-	if err != nil {
-		return nil, err
-	}
-	if err := ai.prepare(q, opts); err != nil {
-		return nil, err
+// applyPlan rewrites the application according to a plan and composes the
+// final executable with the (rebased) analysis image in its text-data gap
+// (Figure 4). This is the only per-application work in the pipeline.
+func applyPlan(app *aout.File, q *Instrumentation, ti *ToolImage, opts Options) (*Result, error) {
+	// Verify every called analysis procedure against the image.
+	seen := map[string]bool{}
+	for _, req := range q.journal {
+		name := req.proto.Name
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		if !ti.hasProc[name] {
+			return nil, fmt.Errorf("atom: analysis procedure %q not defined in analysis routines", name)
+		}
+		if !ti.isGlobal[name] {
+			return nil, fmt.Errorf("atom: analysis procedure %q is not a global symbol", name)
+		}
 	}
 
 	// Attach the call-site templates to the application IR. Within one
@@ -197,33 +259,50 @@ func Instrument(app *aout.File, tool Tool, opts Options) (*Result, error) {
 		}
 	}
 
-	// Lay out the instrumented application, then link the analysis image
-	// right behind it (Figure 4).
-	lay := prog.Layout()
+	// Lay out the instrumented application, then move the prebuilt
+	// analysis image right behind it (Figure 4). Rebase is a rigid shift:
+	// the image was linked once at a canonical base and keeps its
+	// relocation records, so no relink happens here.
+	lay := q.prog.Layout()
 	stats.InstrText = lay.TextSize()
 	analysisBase := (app.TextAddr + lay.TextSize() + 15) &^ 15
-	if err := ai.linkFinal(q, opts, analysisBase); err != nil {
+	img, err := link.Rebase(ti.img, analysisBase)
+	if err != nil {
 		return nil, err
 	}
-	img := ai.final
+
+	// Constant blobs (strings and arrays the instrumentation passes by
+	// address) are application-dependent, so they live outside the cached
+	// image: each is placed, 8-aligned, right after the image's data.
+	constAddr := make([]uint64, len(q.consts))
+	imgEnd := img.DataAddr + uint64(len(img.Data))
+	for i, c := range q.consts {
+		imgEnd = (imgEnd + 7) &^ 7
+		constAddr[i] = imgEnd
+		imgEnd += uint64(len(c.data))
+	}
+
 	stats.AnalysisText = uint64(len(img.Text))
-	stats.AnalysisData = uint64(len(img.Data))
+	stats.AnalysisData = imgEnd - img.DataAddr
 	stats.AnalysisTextAddr = img.TextAddr
 	stats.AnalysisDataAddr = img.DataAddr
 
-	imgEnd := img.DataAddr + uint64(len(img.Data))
 	if imgEnd > app.DataAddr {
 		return nil, fmt.Errorf(
 			"atom: instrumented text (%#x) plus analysis image (text %#x, data %#x) ends at %#x, beyond the application data segment at %#x; rebuild the application with a larger text-data gap",
-			lay.TextSize(), len(img.Text), len(img.Data), imgEnd, app.DataAddr)
+			lay.TextSize(), len(img.Text), imgEnd-img.DataAddr, imgEnd, app.DataAddr)
 	}
 
-	// Resolve inserted references against the analysis image's globals.
+	// Resolve inserted references against the analysis image's globals
+	// and the constant blobs.
 	globals := map[string]uint64{}
 	for _, s := range img.Symbols {
 		if s.Global && s.Section != aout.SecUndef {
 			globals[s.Name] = s.Value
 		}
+	}
+	for i, c := range q.consts {
+		globals[c.label] = constAddr[i]
 	}
 	res, err := lay.Finish(func(name string) (uint64, bool) {
 		v, ok := globals[name]
@@ -234,15 +313,27 @@ func Instrument(app *aout.File, tool Tool, opts Options) (*Result, error) {
 	}
 
 	// Compose the final executable: instrumented application text, then
-	// the analysis text and data in the gap, then the application's
-	// (unmoved) data and bss.
+	// the analysis text, data and constant blobs in the gap, then the
+	// application's (unmoved) data and bss.
 	text := make([]byte, imgEnd-app.TextAddr)
 	copy(text, res.Text)
 	copy(text[img.TextAddr-app.TextAddr:], img.Text)
 	copy(text[img.DataAddr-app.TextAddr:], img.Data)
+	for i, c := range q.consts {
+		copy(text[constAddr[i]-app.TextAddr:], c.data)
+	}
 
 	symbols := append([]aout.Symbol(nil), res.Symbols...)
 	symbols = append(symbols, img.Symbols...)
+	for i, c := range q.consts {
+		symbols = append(symbols, aout.Symbol{
+			Name:    c.label,
+			Section: aout.SecData,
+			Value:   constAddr[i],
+			Size:    uint64(len(c.data)),
+			Global:  true,
+		})
+	}
 
 	out := &aout.File{
 		Linked:   true,

@@ -3,7 +3,6 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
 	"strings"
 
 	"atom/internal/alpha"
@@ -11,149 +10,11 @@ import (
 	"atom/internal/asm"
 	"atom/internal/link"
 	"atom/internal/om"
-	"atom/internal/rtl"
 )
 
-// Analysis-image construction: compiling analysis routines, generating
-// wrappers or in-analysis save code, placing the image in the gap between
-// application text and data (Figure 4), and redirecting its sbrk.
-
-// analysisImage carries the state of the analysis side of the build.
-type analysisImage struct {
-	objs       []*aout.File // compiled analysis routines + constant blobs
-	summary    map[string]om.RegSet
-	targets    []string       // called analysis procedures, sorted
-	argc       map[string]int // register-argument count per target
-	wrapSave   map[string]om.RegSet
-	spliceSave map[string]om.RegSet
-	extraText  uint64 // text growth from the in-analysis splice
-
-	final *aout.File // the linked (and possibly spliced) image
-}
-
-// compileAnalysis builds the analysis objects: user sources plus the
-// module holding constant blobs (strings and arrays passed as arguments).
-func compileAnalysis(q *Instrumentation, srcs map[string]string) (*analysisImage, error) {
-	if len(srcs) == 0 {
-		return nil, fmt.Errorf("atom: tool has no analysis routines")
-	}
-	objs, err := rtl.BuildObjects(srcs)
-	if err != nil {
-		return nil, fmt.Errorf("atom: analysis routines: %w", err)
-	}
-	if len(q.consts) > 0 {
-		var b strings.Builder
-		b.WriteString("\t.data\n")
-		for _, c := range q.consts {
-			fmt.Fprintf(&b, "\t.align 3\n\t.globl %s\n%s:\n", c.label, c.label)
-			b.WriteString("\t.byte ")
-			for i, by := range c.data {
-				if i > 0 {
-					b.WriteString(", ")
-				}
-				fmt.Fprintf(&b, "%d", by)
-			}
-			b.WriteString("\n")
-		}
-		blob, err := asm.Assemble("atom$consts.s", b.String())
-		if err != nil {
-			return nil, fmt.Errorf("atom: constant blobs: %w", err)
-		}
-		objs = append(objs, blob)
-	}
-	return &analysisImage{objs: objs}, nil
-}
-
-// prepare links the image provisionally, verifies every called procedure
-// exists, computes register summaries and save sets, and measures the
-// in-analysis splice growth.
-func (ai *analysisImage) prepare(q *Instrumentation, opts Options) error {
-	lib, err := rtl.Lib()
-	if err != nil {
-		return err
-	}
-	prov, err := link.Link(link.Config{
-		TextAddr:      link.DefaultTextAddr,
-		DataAfterText: true,
-		Entry:         "-",
-		ZeroBss:       true,
-	}, ai.objs, lib)
-	if err != nil {
-		return fmt.Errorf("atom: linking analysis routines: %w", err)
-	}
-	aprog, err := om.Build(prov)
-	if err != nil {
-		return fmt.Errorf("atom: analysis image: %w", err)
-	}
-	ai.summary = aprog.ModifiedRegs()
-
-	// Verify prototypes against the image and collect call targets.
-	seen := map[string]bool{}
-	ai.argc = map[string]int{}
-	for _, req := range q.journal {
-		name := req.proto.Name
-		if seen[name] {
-			continue
-		}
-		seen[name] = true
-		pr := aprog.Proc(name)
-		if pr == nil {
-			return fmt.Errorf("atom: analysis procedure %q not defined in analysis routines", name)
-		}
-		sym, ok := prov.Lookup(name)
-		if !ok || !sym.Global {
-			return fmt.Errorf("atom: analysis procedure %q is not a global symbol", name)
-		}
-		ai.targets = append(ai.targets, name)
-		n := len(req.proto.Params)
-		if n > alpha.MaxRegArgs {
-			n = alpha.MaxRegArgs
-		}
-		ai.argc[name] = n
-	}
-	sort.Strings(ai.targets)
-
-	// Save sets per target. With NoRegSummary (ablation), every
-	// caller-save register is assumed clobbered.
-	ai.wrapSave = map[string]om.RegSet{}
-	ai.spliceSave = map[string]om.RegSet{}
-	for _, name := range ai.targets {
-		mod := ai.summary[name]
-		if opts.NoRegSummary {
-			mod = om.AllCallerSave()
-		}
-		save := mod
-		// ra and the register arguments are saved at the call site.
-		save &^= om.RegSet(0).Add(alpha.RA)
-		args := alpha.ArgRegs()
-		for i := 0; i < ai.argc[name]; i++ {
-			save &^= om.RegSet(0).Add(args[i])
-		}
-		ai.wrapSave[name] = save
-		ai.spliceSave[name] = save
-		if opts.Mode == SaveInAnalysis {
-			if len(q.protos[name].Params) > alpha.MaxRegArgs {
-				return fmt.Errorf("atom: %q: the in-analysis save mode supports at most %d parameters", name, alpha.MaxRegArgs)
-			}
-			// Every exit must be a ret for the restore splice to cover it.
-			pr := aprog.Proc(name)
-			for _, b := range pr.Blocks {
-				last := b.Insts[len(b.Insts)-1].I
-				if last.Op == alpha.OpBr {
-					target := b.Insts[len(b.Insts)-1].Addr + 4 + uint64(int64(last.Disp)*4)
-					if target < pr.Addr || target >= pr.Addr+pr.Size {
-						return fmt.Errorf("atom: %q exits via a cross-procedure branch; in-analysis saves unsupported", name)
-					}
-				}
-			}
-		}
-	}
-
-	if opts.Mode == SaveInAnalysis {
-		ai.extraText = spliceGrowth(aprog, ai.targets, ai.spliceSave)
-	}
-	return nil
-}
+// Analysis-image helpers shared by the tool-image build (toolimage.go):
+// register-save wrappers, the in-analysis save/restore splice, and the
+// sbrk redirection that gives the analysis side its own heap zone.
 
 // spliceGrowth computes how many text bytes the in-analysis save/restore
 // splice adds: a prologue per procedure and a restore before each ret.
@@ -209,16 +70,17 @@ func spliceSaves(prog *om.Program, targets []string, save map[string]om.RegSet) 
 	return nil
 }
 
-// wrapperModule generates the wrapper procedures: each saves the
-// registers its analysis routine's summary says may be clobbered (minus
-// those the call site already saved), forwards the call, and restores.
-// Wrappers for >6-argument routines also relay the stack arguments.
-func (ai *analysisImage) wrapperModule(q *Instrumentation) (*aout.File, error) {
+// wrapperModule generates the wrapper procedures for the given (sorted)
+// analysis procedures: each saves the registers its routine's summary
+// says may be clobbered (minus those the call site already saved),
+// forwards the call, and restores. Wrappers for >6-argument routines also
+// relay the stack arguments.
+func wrapperModule(names []string, protos map[string]*Proto, wrapSave map[string]om.RegSet) (*aout.File, error) {
 	var b strings.Builder
 	b.WriteString("\t.text\n")
-	for _, name := range ai.targets {
-		save := ai.wrapSave[name].Regs()
-		nStack := len(q.protos[name].Params) - alpha.MaxRegArgs
+	for _, name := range names {
+		save := wrapSave[name].Regs()
+		nStack := len(protos[name].Params) - alpha.MaxRegArgs
 		if nStack < 0 {
 			nStack = 0
 		}
@@ -226,7 +88,7 @@ func (ai *analysisImage) wrapperModule(q *Instrumentation) (*aout.File, error) {
 		w := WrapperName(name)
 		fmt.Fprintf(&b, "\t.globl %s\n\t.ent %s\n%s:\n", w, w, w)
 		slots := 1 + len(save) // ra + saved registers
-		if useAT && !ai.wrapSave[name].Has(alpha.AT) {
+		if useAT && !wrapSave[name].Has(alpha.AT) {
 			slots++
 		}
 		frame := (int64(nStack)*8 + int64(slots)*8 + 15) &^ 15
@@ -271,71 +133,6 @@ func (ai *analysisImage) wrapperModule(q *Instrumentation) (*aout.File, error) {
 
 // WrapperName returns the wrapper symbol for an analysis procedure.
 func WrapperName(proc string) string { return "atom$w$" + proc }
-
-// linkFinal links the analysis image at its final base and applies the
-// in-analysis splice and the sbrk redirection.
-func (ai *analysisImage) linkFinal(q *Instrumentation, opts Options, textBase uint64) error {
-	lib, err := rtl.Lib()
-	if err != nil {
-		return err
-	}
-	objs := ai.objs
-	if opts.Mode == SaveWrapper && len(ai.targets) > 0 {
-		wrap, err := ai.wrapperModule(q)
-		if err != nil {
-			return fmt.Errorf("atom: wrappers: %w", err)
-		}
-		objs = append(append([]*aout.File(nil), objs...), wrap)
-	}
-
-	cfg := link.Config{TextAddr: textBase, Entry: "-", ZeroBss: true}
-	if ai.extraText == 0 {
-		cfg.DataAfterText = true
-	} else {
-		// Leave room for the splice growth between text and data.
-		size, err := textSizeOf(objs, lib)
-		if err != nil {
-			return err
-		}
-		cfg.DataAddr = (textBase + size + ai.extraText + 15) &^ 15
-	}
-	img, err := link.Link(cfg, objs, lib)
-	if err != nil {
-		return fmt.Errorf("atom: linking analysis image: %w", err)
-	}
-
-	if opts.Mode == SaveInAnalysis && ai.extraText > 0 {
-		aprog, err := om.Build(img)
-		if err != nil {
-			return err
-		}
-		if err := spliceSaves(aprog, ai.targets, ai.spliceSave); err != nil {
-			return err
-		}
-		lay := aprog.Layout()
-		if lay.TextSize() != uint64(len(img.Text))+ai.extraText {
-			return fmt.Errorf("atom: internal: splice growth %d != predicted %d",
-				lay.TextSize()-uint64(len(img.Text)), ai.extraText)
-		}
-		res, err := lay.Finish(func(string) (uint64, bool) { return 0, false })
-		if err != nil {
-			return err
-		}
-		img = &aout.File{
-			Linked: true,
-			Text:   res.Text, TextAddr: img.TextAddr,
-			Data: res.Data, DataAddr: img.DataAddr,
-			Bss: img.Bss, BssAddr: img.BssAddr,
-			Symbols: res.Symbols,
-		}
-	}
-
-	if err := redirectSbrk(img); err != nil {
-		return err
-	}
-	ai.final = img
-	return nil
-}
 
 // textSizeOf measures the text size a link of the given objects produces.
 func textSizeOf(objs []*aout.File, lib *link.Library) (uint64, error) {

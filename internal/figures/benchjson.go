@@ -1,0 +1,68 @@
+package figures
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+// Machine-readable benchmark output, for dashboards and regression
+// tracking. The schema is versioned so consumers can detect changes.
+
+// BenchJSON is the top-level document WriteBenchJSON emits.
+type BenchJSON struct {
+	Schema string         `json:"schema"` // "atom-bench/v1"
+	Fig5   []BenchFig5Row `json:"fig5,omitempty"`
+	Fig6   []BenchFig6Row `json:"fig6,omitempty"`
+}
+
+// BenchFig5Row mirrors Fig5Row with durations in milliseconds.
+type BenchFig5Row struct {
+	Tool        string  `json:"tool"`
+	Programs    int     `json:"programs"`
+	ToolBuildMS float64 `json:"tool_build_ms"` // one-time image build
+	TotalMS     float64 `json:"total_ms"`      // warm per-program rewrites, summed
+	AvgMS       float64 `json:"avg_ms"`        // warm rewrite per program
+	PaperAvgSec float64 `json:"paper_avg_sec"` // published reference
+}
+
+// BenchFig6Row mirrors Fig6Row.
+type BenchFig6Row struct {
+	Tool       string  `json:"tool"`
+	Ratio      float64 `json:"ratio"`
+	MinRatio   float64 `json:"min_ratio"`
+	MaxRatio   float64 `json:"max_ratio"`
+	PaperRatio float64 `json:"paper_ratio"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// WriteBenchJSON writes Figure 5/6 measurements as JSON to path. Either
+// row slice may be nil.
+func WriteBenchJSON(path string, fig5 []Fig5Row, fig6 []Fig6Row) error {
+	doc := BenchJSON{Schema: "atom-bench/v1"}
+	for _, r := range fig5 {
+		doc.Fig5 = append(doc.Fig5, BenchFig5Row{
+			Tool:        r.Tool,
+			Programs:    r.Programs,
+			ToolBuildMS: ms(r.ToolBuild),
+			TotalMS:     ms(r.Total),
+			AvgMS:       ms(r.Avg),
+			PaperAvgSec: PaperFig5[r.Tool].Avg,
+		})
+	}
+	for _, r := range fig6 {
+		doc.Fig6 = append(doc.Fig6, BenchFig6Row{
+			Tool:       r.Tool,
+			Ratio:      r.Ratio,
+			MinRatio:   r.MinRatio,
+			MaxRatio:   r.MaxRatio,
+			PaperRatio: PaperFig6[r.Tool].Ratio,
+		})
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"atom/internal/core"
+	"atom/internal/rtl"
 	"atom/internal/spec"
 	"atom/internal/tools"
 	"atom/internal/vm"
@@ -62,25 +63,33 @@ var PaperFig6 = map[string]struct {
 	"unalign": {"each basic block", 3, 2.93},
 }
 
-// Fig5Row is one Figure 5 line.
+// Fig5Row is one Figure 5 line, split along the paper's two-step cost
+// model: ToolBuild is the one-time cost of compiling and linking the
+// tool's analysis image (step one, paid once no matter how many programs
+// follow); Total/Avg are the per-program rewrite costs (step two) with
+// the image already built.
 type Fig5Row struct {
 	Tool        string
 	Description string
-	Total       time.Duration // wall time to instrument the whole suite
-	Avg         time.Duration
+	ToolBuild   time.Duration // one-time: compile + link the analysis image
+	Total       time.Duration // wall time to rewrite the whole suite (warm)
+	Avg         time.Duration // per-program rewrite time
 	Programs    int
 }
 
 // Fig5 instruments the given suite programs (all 20 when names is empty)
 // with every tool and measures instrumentation time (ATOM processing plus
 // the tool's instrumentation routine, exactly the paper's definition).
+// For each tool the artifact caches are dropped first, so ToolBuild is a
+// true cold build; the per-program loop then runs against the warm cache,
+// which is how the system behaves when one tool is applied to a suite.
 func Fig5(names []string, progress io.Writer) ([]Fig5Row, error) {
 	if len(names) == 0 {
 		for _, p := range spec.Suite() {
 			names = append(names, p.Name)
 		}
 	}
-	// Warm the build cache outside the timers.
+	// Warm the application-build cache outside the timers.
 	for _, pn := range names {
 		if _, err := spec.Build(pn); err != nil {
 			return nil, err
@@ -89,13 +98,23 @@ func Fig5(names []string, progress io.Writer) ([]Fig5Row, error) {
 	var rows []Fig5Row
 	for _, tname := range tools.Names() {
 		tool, _ := tools.ByName(tname)
+
+		core.ResetImageCache()
+		rtl.ResetObjectCache()
 		start := time.Now()
+		ti, err := core.BuildToolImage(tool, core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("fig5: building %s: %w", tname, err)
+		}
+		toolBuild := time.Since(start)
+
+		start = time.Now()
 		for _, pn := range names {
 			exe, err := spec.Build(pn)
 			if err != nil {
 				return nil, err
 			}
-			if _, err := core.Instrument(exe, tool, core.Options{}); err != nil {
+			if _, err := core.Apply(exe, ti, core.Options{}); err != nil {
 				return nil, fmt.Errorf("fig5: %s on %s: %w", tname, pn, err)
 			}
 		}
@@ -103,12 +122,14 @@ func Fig5(names []string, progress io.Writer) ([]Fig5Row, error) {
 		rows = append(rows, Fig5Row{
 			Tool:        tname,
 			Description: tool.Description,
+			ToolBuild:   toolBuild,
 			Total:       total,
 			Avg:         total / time.Duration(len(names)),
 			Programs:    len(names),
 		})
 		if progress != nil {
-			fmt.Fprintf(progress, "fig5: %-8s %v\n", tname, total.Round(time.Millisecond))
+			fmt.Fprintf(progress, "fig5: %-8s build %v, apply %v\n",
+				tname, toolBuild.Round(time.Millisecond), total.Round(time.Millisecond))
 		}
 	}
 	return rows, nil
@@ -224,14 +245,17 @@ func Fig6(names []string, progress io.Writer) ([]Fig6Row, error) {
 	return rows, nil
 }
 
-// PrintFig5 renders Figure 5 next to the paper's numbers.
+// PrintFig5 renders Figure 5 next to the paper's numbers. "build" is the
+// one-time tool-image cost; "total"/"avg/prog" cover only the
+// per-program rewrites (the cost that scales with the suite).
 func PrintFig5(w io.Writer, rows []Fig5Row) {
-	fmt.Fprintf(w, "Figure 5: time to instrument the %d-program suite\n", rows[0].Programs)
-	fmt.Fprintf(w, "%-8s  %-45s %12s %12s %14s\n", "tool", "description", "total", "avg/prog", "paper avg (s)")
+	fmt.Fprintf(w, "Figure 5: time to instrument the %d-program suite (build once, apply per program)\n", rows[0].Programs)
+	fmt.Fprintf(w, "%-8s  %-45s %10s %12s %12s %14s\n", "tool", "description", "build", "total", "avg/prog", "paper avg (s)")
 	for _, r := range rows {
 		ref := PaperFig5[r.Tool]
-		fmt.Fprintf(w, "%-8s  %-45s %12v %12v %14.2f\n",
-			r.Tool, r.Description, r.Total.Round(time.Millisecond), r.Avg.Round(time.Millisecond), ref.Avg)
+		fmt.Fprintf(w, "%-8s  %-45s %10v %12v %12v %14.2f\n",
+			r.Tool, r.Description, r.ToolBuild.Round(time.Millisecond),
+			r.Total.Round(time.Millisecond), r.Avg.Round(time.Millisecond), ref.Avg)
 	}
 }
 

@@ -1,0 +1,80 @@
+package link
+
+import (
+	"fmt"
+
+	"atom/internal/aout"
+)
+
+// Rebase returns a copy of a linked image moved rigidly so its text
+// segment starts at newTextAddr; data and bss keep their distances from
+// text. Because executables retain their relocation records, every
+// absolute address constant (HI16/LO16 pairs, QUAD/LONG data) is
+// re-patched against the shifted symbol values; PC-relative branch
+// displacements are invariant under a rigid shift and are left alone.
+//
+// ATOM uses this to place a tool's analysis image — compiled and linked
+// exactly once, at a canonical base — into the text-data gap of each
+// application it instruments, which is how the paper's "build the tool
+// once, apply it to any program" cost model is realized without a
+// per-program relink.
+//
+// The input is not modified. When newTextAddr equals the current base the
+// image itself is returned; callers must treat the result as read-only.
+func Rebase(img *aout.File, newTextAddr uint64) (*aout.File, error) {
+	if !img.Linked {
+		return nil, fmt.Errorf("link: rebase of unlinked module")
+	}
+	delta := int64(newTextAddr) - int64(img.TextAddr)
+	if delta == 0 {
+		return img, nil
+	}
+	shift := func(a uint64) uint64 { return uint64(int64(a) + delta) }
+
+	out := &aout.File{
+		Linked:   true,
+		Text:     append([]byte(nil), img.Text...),
+		Data:     append([]byte(nil), img.Data...),
+		Bss:      img.Bss,
+		TextAddr: shift(img.TextAddr),
+		DataAddr: shift(img.DataAddr),
+		BssAddr:  shift(img.BssAddr),
+		Relocs:   img.Relocs, // section-relative offsets: unchanged
+	}
+	if img.Entry != 0 {
+		out.Entry = shift(img.Entry)
+	}
+	out.Symbols = make([]aout.Symbol, len(img.Symbols))
+	copy(out.Symbols, img.Symbols)
+	for i := range out.Symbols {
+		switch out.Symbols[i].Section {
+		case aout.SecText, aout.SecData, aout.SecBss:
+			out.Symbols[i].Value = shift(out.Symbols[i].Value)
+		}
+	}
+
+	for _, r := range img.Relocs {
+		if r.Type == aout.RelBr21 {
+			continue // PC-relative: unchanged by a rigid shift
+		}
+		sym := out.Symbols[r.Sym]
+		if sym.Section == aout.SecAbs || sym.Section == aout.SecUndef {
+			continue // target does not move
+		}
+		target := sym.Value + uint64(r.Addend)
+		var buf []byte
+		var site uint64
+		switch r.Section {
+		case aout.SecText:
+			buf, site = out.Text, out.TextAddr+r.Offset
+		case aout.SecData:
+			buf, site = out.Data, out.DataAddr+r.Offset
+		default:
+			return nil, fmt.Errorf("link: rebase: reloc in section %v", r.Section)
+		}
+		if err := Patch(buf, r.Offset, site, r.Type, target, sym.Name); err != nil {
+			return nil, fmt.Errorf("link: rebase to %#x: %w", newTextAddr, err)
+		}
+	}
+	return out, nil
+}

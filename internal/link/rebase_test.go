@@ -1,0 +1,100 @@
+package link
+
+import (
+	"bytes"
+	"testing"
+
+	"atom/internal/aout"
+)
+
+// rebaseSrc exercises every relocation kind a rebase must handle: a BR21
+// call, HI16/LO16 address materialization of a data symbol, and a QUAD
+// code pointer resident in data.
+const rebaseSrc = `
+	.text
+	.globl helper
+	.ent helper
+helper:
+	ret (ra)
+	.end helper
+	.globl body
+	.ent body
+body:
+	bsr ra, helper
+	la t0, table
+	ldq v0, 0(t0)
+	ret (ra)
+	.end body
+	.data
+	.globl table
+table:	.quad body
+	.quad 7
+`
+
+func TestRebaseMatchesDirectLink(t *testing.T) {
+	mod := obj(t, rebaseSrc)
+	cfg := Config{DataAfterText: true, Entry: "-", ZeroBss: true}
+	at := func(base uint64) *aout.File {
+		cfg := cfg
+		cfg.TextAddr = base
+		exe, err := Link(cfg, []*aout.File{obj(t, rebaseSrc)})
+		if err != nil {
+			t.Fatalf("Link at %#x: %v", base, err)
+		}
+		return exe
+	}
+	_ = mod
+
+	canonical := at(DefaultTextAddr)
+	const newBase = DefaultTextAddr + 0x12340
+	want := at(newBase)
+	got, err := Rebase(canonical, newBase)
+	if err != nil {
+		t.Fatalf("Rebase: %v", err)
+	}
+
+	if got.TextAddr != want.TextAddr || got.DataAddr != want.DataAddr || got.BssAddr != want.BssAddr {
+		t.Fatalf("layout: got %#x/%#x/%#x, want %#x/%#x/%#x",
+			got.TextAddr, got.DataAddr, got.BssAddr, want.TextAddr, want.DataAddr, want.BssAddr)
+	}
+	if !bytes.Equal(got.Text, want.Text) {
+		t.Error("rebased text differs from a direct link at the new base")
+	}
+	if !bytes.Equal(got.Data, want.Data) {
+		t.Error("rebased data differs from a direct link at the new base")
+	}
+	for _, name := range []string{"helper", "body", "table"} {
+		g, ok1 := got.Lookup(name)
+		w, ok2 := want.Lookup(name)
+		if !ok1 || !ok2 || g.Value != w.Value {
+			t.Errorf("symbol %s: got %#x, want %#x", name, g.Value, w.Value)
+		}
+	}
+	// The original must be untouched.
+	if canonical.TextAddr != DefaultTextAddr {
+		t.Error("Rebase mutated its input")
+	}
+	// Rebasing back must round-trip.
+	back, err := Rebase(got, DefaultTextAddr)
+	if err != nil {
+		t.Fatalf("Rebase back: %v", err)
+	}
+	if !bytes.Equal(back.Text, canonical.Text) || !bytes.Equal(back.Data, canonical.Data) {
+		t.Error("rebase does not round-trip")
+	}
+}
+
+func TestRebaseNoop(t *testing.T) {
+	exe, err := Link(Config{DataAfterText: true, Entry: "-", ZeroBss: true},
+		[]*aout.File{obj(t, rebaseSrc)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Rebase(exe, exe.TextAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != exe {
+		t.Error("zero-delta rebase should return the image itself")
+	}
+}

@@ -91,6 +91,12 @@ type Result struct {
 	Data    []byte        // application data with text-pointer relocs re-fixed
 	Symbols []aout.Symbol // symbol table with text symbols moved
 	Entry   uint64
+	// Relocs carries the input's relocation records forward, with text
+	// offsets remapped to the new layout (branch relocations, which are
+	// recomputed from the IR, are dropped). Keeping them means a
+	// re-emitted image is still rigidly relocatable — ATOM relies on this
+	// to move a spliced analysis image without relinking it.
+	Relocs []aout.Reloc
 }
 
 // Finish emits the instrumented text. resolve maps external symbol names
@@ -147,8 +153,11 @@ func (l *Layout) Finish(resolve func(string) (uint64, bool)) (*Result, error) {
 	// Re-apply the retained relocations: address constants referring to
 	// text symbols must now produce the NEW addresses (the program has to
 	// jump to where code actually is); data-symbol references are
-	// unchanged because ATOM never moves application data.
+	// unchanged because ATOM never moves application data. Each surviving
+	// record is re-emitted (with its text offset remapped) so the result
+	// itself remains rigidly relocatable.
 	data := append([]byte(nil), exe.Data...)
+	var relocs []aout.Reloc
 	for _, r := range exe.Relocs {
 		sym := exe.Symbols[r.Sym]
 		target := sym.Value + uint64(r.Addend)
@@ -177,7 +186,11 @@ func (l *Layout) Finish(resolve func(string) (uint64, bool)) (*Result, error) {
 			if err := link.Patch(text, newSite-base, newSite, r.Type, target, sym.Name); err != nil {
 				return nil, err
 			}
+			nr := r
+			nr.Offset = newSite - base
+			relocs = append(relocs, nr)
 		case aout.SecData:
+			relocs = append(relocs, r)
 			if sym.Section != aout.SecText {
 				continue // data-to-data references are unchanged
 			}
@@ -229,7 +242,7 @@ func (l *Layout) Finish(resolve func(string) (uint64, bool)) (*Result, error) {
 			return nil, fmt.Errorf("om: entry point %#x unmapped", exe.Entry)
 		}
 	}
-	return &Result{Text: text, Data: data, Symbols: syms, Entry: entry}, nil
+	return &Result{Text: text, Data: data, Symbols: syms, Entry: entry, Relocs: relocs}, nil
 }
 
 // emitInst encodes one original instruction at its new address,

@@ -9,6 +9,13 @@
 // the same library procedure, like printf, there are two copies of printf
 // in the final executable"). The library is therefore exposed as a
 // link.Library whose members are archive-selected per image.
+//
+// All build products are memoized through content-addressed caches
+// (internal/build): the runtime library itself is built at most once per
+// process, and compiled object sets are keyed by their sources so
+// repeated instrumentation runs never recompile unchanged analysis
+// routines. Unlike the sync.Once this replaced, a failed build is not
+// latched — the next call retries it.
 package rtl
 
 import (
@@ -17,10 +24,10 @@ import (
 	"io/fs"
 	"sort"
 	"strings"
-	"sync"
 
 	"atom/internal/aout"
 	"atom/internal/asm"
+	"atom/internal/build"
 	"atom/internal/cc"
 	"atom/internal/link"
 )
@@ -28,104 +35,122 @@ import (
 //go:embed src include
 var files embed.FS
 
+// runtime bundles everything one build of the embedded sources produces.
+type runtime struct {
+	headers map[string]string
+	lib     *link.Library
+	crt0    *aout.File
+}
+
 var (
-	once     sync.Once
-	headers  map[string]string
-	lib      *link.Library
-	crt0     *aout.File
-	buildErr error
+	rtCache  = build.NewCache()
+	objCache = build.NewCache()
+
+	// buildFault, when non-nil, is consulted at the start of a runtime
+	// build. Tests use it to inject a transient failure and verify that
+	// the failure is not latched.
+	buildFault func() error
 )
 
-func build() {
-	headers = map[string]string{}
+var runtimeKey = build.NewKey("rtl-runtime").Sum()
+
+func parts() (*runtime, error) {
+	return build.Memo(rtCache, runtimeKey, buildRuntime)
+}
+
+func buildRuntime() (*runtime, error) {
+	if buildFault != nil {
+		if err := buildFault(); err != nil {
+			return nil, err
+		}
+	}
+	rt := &runtime{headers: map[string]string{}}
 	hdrs, err := fs.ReadDir(files, "include")
 	if err != nil {
-		buildErr = fmt.Errorf("rtl: %w", err)
-		return
+		return nil, fmt.Errorf("rtl: %w", err)
 	}
 	for _, e := range hdrs {
 		data, err := files.ReadFile("include/" + e.Name())
 		if err != nil {
-			buildErr = fmt.Errorf("rtl: %w", err)
-			return
+			return nil, fmt.Errorf("rtl: %w", err)
 		}
-		headers[e.Name()] = string(data)
+		rt.headers[e.Name()] = string(data)
 	}
 
 	srcs, err := fs.ReadDir(files, "src")
 	if err != nil {
-		buildErr = fmt.Errorf("rtl: %w", err)
-		return
+		return nil, fmt.Errorf("rtl: %w", err)
 	}
 	var names []string
 	for _, e := range srcs {
 		names = append(names, e.Name())
 	}
 	sort.Strings(names)
-	lib = &link.Library{Name: "librtl"}
+	rt.lib = &link.Library{Name: "librtl"}
 	for _, name := range names {
 		data, err := files.ReadFile("src/" + name)
 		if err != nil {
-			buildErr = fmt.Errorf("rtl: %w", err)
-			return
+			return nil, fmt.Errorf("rtl: %w", err)
 		}
 		var obj *aout.File
 		switch {
 		case strings.HasSuffix(name, ".s"):
 			obj, err = asm.Assemble(name, string(data))
 		case strings.HasSuffix(name, ".c"):
-			obj, err = cc.Build(name, string(data), headers)
+			obj, err = cc.Build(name, string(data), rt.headers)
 		default:
 			continue
 		}
 		if err != nil {
-			buildErr = fmt.Errorf("rtl: %s: %w", name, err)
-			return
+			return nil, fmt.Errorf("rtl: %s: %w", name, err)
 		}
 		// crt0 defines the entry point, which nothing references by
 		// name, so it is linked explicitly rather than archive-selected.
 		if name == "crt0.s" {
-			crt0 = obj
+			rt.crt0 = obj
 			continue
 		}
-		lib.Members = append(lib.Members, obj)
+		rt.lib.Members = append(rt.lib.Members, obj)
 	}
+	return rt, nil
 }
 
 // Headers returns the standard headers (stdio.h, stdlib.h, string.h) for
 // compiling MiniC programs against this library.
 func Headers() (map[string]string, error) {
-	once.Do(build)
-	if buildErr != nil {
-		return nil, buildErr
+	rt, err := parts()
+	if err != nil {
+		return nil, err
 	}
-	return headers, nil
+	return rt.headers, nil
 }
 
 // Lib returns the compiled runtime library. The returned value is shared
 // and must not be mutated; the linker copies member contents.
 func Lib() (*link.Library, error) {
-	once.Do(build)
-	if buildErr != nil {
-		return nil, buildErr
+	rt, err := parts()
+	if err != nil {
+		return nil, err
 	}
-	return lib, nil
+	return rt.lib, nil
 }
 
 // Crt0 returns the startup object defining __start. It must be linked
 // explicitly into executables (nothing references it by name, so archive
 // selection would never pull it in).
 func Crt0() (*aout.File, error) {
-	once.Do(build)
-	if buildErr != nil {
-		return nil, buildErr
+	rt, err := parts()
+	if err != nil {
+		return nil, err
 	}
-	return crt0, nil
+	return rt.crt0, nil
 }
 
 // BuildObjects compiles MiniC sources (name -> source) into objects.
 // Names ending in ".s" are assembled instead — analysis routines with
-// hand-optimized hot paths mix both.
+// hand-optimized hot paths mix both. Results are memoized by source
+// content; the returned objects are shared and must not be mutated
+// (the linker copies what it needs).
 func BuildObjects(srcs map[string]string) ([]*aout.File, error) {
 	hdrs, err := Headers()
 	if err != nil {
@@ -136,22 +161,42 @@ func BuildObjects(srcs map[string]string) ([]*aout.File, error) {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	var objs []*aout.File
+	kb := build.NewKey("objects")
+	kb.Int(int64(len(names)))
 	for _, n := range names {
-		var obj *aout.File
-		var err error
-		if strings.HasSuffix(n, ".s") {
-			obj, err = asm.Assemble(n, srcs[n])
-		} else {
-			obj, err = cc.Build(n, srcs[n], hdrs)
-		}
-		if err != nil {
-			return nil, err
-		}
-		objs = append(objs, obj)
+		kb.String(n).String(srcs[n])
 	}
-	return objs, nil
+	objs, err := build.Memo(objCache, kb.Sum(), func() ([]*aout.File, error) {
+		var objs []*aout.File
+		for _, n := range names {
+			var obj *aout.File
+			var err error
+			if strings.HasSuffix(n, ".s") {
+				obj, err = asm.Assemble(n, srcs[n])
+			} else {
+				obj, err = cc.Build(n, srcs[n], hdrs)
+			}
+			if err != nil {
+				return nil, err
+			}
+			objs = append(objs, obj)
+		}
+		return objs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Fresh slice header: callers append wrapper modules to the result.
+	return append([]*aout.File(nil), objs...), nil
 }
+
+// ObjectCacheStats reports compiled-object cache activity.
+func ObjectCacheStats() build.Stats { return objCache.Stats() }
+
+// ResetObjectCache drops the compiled-object cache (not the runtime
+// library, whose build is part of process setup, not of any tool). Used
+// by cold-start benchmarks.
+func ResetObjectCache() { objCache.Reset() }
 
 // BuildProgram compiles a single-file MiniC program and links it (with
 // crt0 and the runtime library) into an executable.

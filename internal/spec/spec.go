@@ -18,9 +18,9 @@ package spec
 
 import (
 	"fmt"
-	"sync"
 
 	"atom/internal/aout"
+	"atom/internal/build"
 	"atom/internal/rtl"
 )
 
@@ -46,27 +46,23 @@ func ByName(name string) (Program, bool) {
 	return Program{}, false
 }
 
-var (
-	buildMu    sync.Mutex
-	buildCache = map[string]*aout.File{}
-)
+var buildCache = build.NewCache()
 
-// Build compiles and links a suite program, caching the result. The
-// returned file must not be mutated.
+// Build compiles and links a suite program, memoizing the result by the
+// program's source content. Concurrent callers of the same program share
+// one build (and distinct programs build in parallel — no global lock).
+// The returned file must not be mutated.
 func Build(name string) (*aout.File, error) {
-	buildMu.Lock()
-	defer buildMu.Unlock()
-	if exe, ok := buildCache[name]; ok {
-		return exe, nil
-	}
 	p, ok := ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("spec: unknown program %q", name)
 	}
-	exe, err := rtl.BuildProgram(p.Name+".c", p.Src)
+	key := build.NewKey("spec-program").String(p.Name).String(p.Src).Sum()
+	exe, err := build.Memo(buildCache, key, func() (*aout.File, error) {
+		return rtl.BuildProgram(p.Name+".c", p.Src)
+	})
 	if err != nil {
 		return nil, fmt.Errorf("spec: %s: %w", name, err)
 	}
-	buildCache[name] = exe
 	return exe, nil
 }

@@ -1,0 +1,57 @@
+package atom
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"atom/internal/core"
+)
+
+// InstrumentSuite applies one tool to many applications concurrently —
+// the paper's workflow for Figures 5 and 6, where each tool is run over
+// the complete SPEC92 suite. The tool's analysis image is compiled and
+// linked once (first worker to need it builds it; the rest share it via
+// the content-addressed cache) and only the per-application rewrite fans
+// out across workers.
+//
+// workers bounds the number of applications instrumented at once; zero
+// or negative means GOMAXPROCS. Results are returned in input order:
+// results[i] corresponds to apps[i] regardless of completion order, so
+// parallel and serial runs are interchangeable. If some applications
+// fail, their slots are nil and the returned error joins every failure
+// (tagged with the application's index); the rest are still
+// instrumented.
+func InstrumentSuite(apps []*Executable, tool Tool, opts Options, workers int) ([]*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(apps) {
+		workers = len(apps)
+	}
+	results := make([]*Result, len(apps))
+	errs := make([]error, len(apps))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, err := core.Instrument(apps[i], tool, opts)
+				if err != nil {
+					errs[i] = fmt.Errorf("app %d: %w", i, err)
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range apps {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results, errors.Join(errs...)
+}
