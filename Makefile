@@ -1,15 +1,19 @@
-# Development targets. `make ci` is the gate: vet, build, race-enabled
-# tests, and a one-iteration benchmark smoke so the Figure 5/6 harness
-# cannot rot silently.
+# Development targets. `make ci` is the gate: formatting, vet, build,
+# race-enabled tests, a one-iteration benchmark smoke so the Figure 5/6
+# harness cannot rot silently, and a trace smoke that validates the
+# observability pipeline end to end.
 
 GO ?= go
 
-.PHONY: all build vet test race benchsmoke bench ci
+.PHONY: all build fmt vet test race benchsmoke tracesmoke bench ci
 
 all: build
 
 build:
 	$(GO) build ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt: needs formatting: $$out" >&2; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -24,8 +28,17 @@ race:
 benchsmoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
+# Instrument a program with tracing on and validate the emitted trace.
+tracesmoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	printf '#include <stdio.h>\nint main() { printf("ok\\n"); return 0; }\n' > $$tmp/smoke.c; \
+	$(GO) run ./cmd/minicc -o $$tmp/smoke.o $$tmp/smoke.c; \
+	$(GO) run ./cmd/alink -o $$tmp/smoke.x $$tmp/smoke.o; \
+	$(GO) run ./cmd/atom -t branch -trace $$tmp/smoke.trace.json -o $$tmp/smoke.atom $$tmp/smoke.x; \
+	$(GO) run ./cmd/atom -verify-trace $$tmp/smoke.trace.json
+
 # Real measurements (slow); see EXPERIMENTS.md for recorded numbers.
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-ci: vet build race benchsmoke
+ci: fmt vet build race benchsmoke tracesmoke

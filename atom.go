@@ -155,6 +155,7 @@ type RunResult struct {
 	Loads     uint64
 	Stores    uint64
 	Unaligned uint64
+	Syscalls  uint64
 }
 
 // RunProgram executes an executable on the VM to completion.
@@ -182,5 +183,6 @@ func RunProgram(exe *Executable, cfg RunConfig) (*RunResult, error) {
 		Loads:     m.Loads,
 		Stores:    m.Stores,
 		Unaligned: m.Unaligned,
+		Syscalls:  m.Syscalls,
 	}, nil
 }

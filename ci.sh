@@ -1,9 +1,31 @@
 #!/bin/sh
-# CI gate: vet, build, race-enabled tests, benchmark smoke.
-# Equivalent to `make ci`, for environments without make.
+# CI gate: formatting, vet, build, race-enabled tests, benchmark smoke,
+# and a trace smoke that drives the full pipeline and validates the
+# emitted Chrome trace. Equivalent to `make ci`, for environments
+# without make.
 set -eux
+
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt: needs formatting: $fmt" >&2
+    exit 1
+fi
 
 go vet ./...
 go build ./...
 go test -race ./...
 go test -bench=. -benchtime=1x -run='^$' ./...
+
+# Trace smoke: compile and link a program, instrument it with tracing
+# on, and validate the trace file (non-empty, well-formed, covering
+# compile/link/plan/image-build/apply with cache attribution).
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+cat > "$tmp/smoke.c" <<'EOF'
+#include <stdio.h>
+int main() { printf("ok\n"); return 0; }
+EOF
+go run ./cmd/minicc -o "$tmp/smoke.o" "$tmp/smoke.c"
+go run ./cmd/alink -o "$tmp/smoke.x" "$tmp/smoke.o"
+go run ./cmd/atom -t branch -trace "$tmp/smoke.trace.json" -o "$tmp/smoke.atom" "$tmp/smoke.x"
+go run ./cmd/atom -verify-trace "$tmp/smoke.trace.json"

@@ -9,7 +9,17 @@
 // the library API to write new ones). With several input programs the
 // tool's analysis image is built once and applied to each program, in
 // parallel when -j is given; each output is written next to its input
-// with the extension replaced by ".atom".
+// with the extension replaced by ".atom". A failing program does not
+// abort the batch: the rest are still instrumented, each failure is
+// reported, and the exit status is non-zero iff any program failed.
+//
+// The pipeline is observable end to end:
+//
+//	atom -t cache -trace t.json prog.x   # Chrome trace (chrome://tracing)
+//	atom -t cache -metrics prog.x        # span/counter snapshot on stderr
+//	atom -t cache -cpuprofile cpu.pprof prog.x
+//	atom -t cache -bench-json run.json prog.x  # per-phase JSON breakdown
+//	atom -verify-trace t.json            # validate a trace file (CI smoke)
 //
 // It also regenerates the paper's evaluation artifacts:
 //
@@ -23,31 +33,40 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
+	"time"
 
-	"atom"
 	"atom/internal/aout"
 	"atom/internal/core"
 	"atom/internal/figures"
+	"atom/internal/obs"
+	"atom/internal/rtl"
 	"atom/internal/tools"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
-		toolName  = flag.String("t", "", "analysis tool to apply (see -list)")
-		outPath   = flag.String("o", "", "output executable (single input only; default: input with .atom extension, or a.atom)")
-		toolArgs  = flag.String("args", "", "comma-separated tool arguments (iargv)")
-		mode      = flag.String("mode", "wrapper", "register-save mode: wrapper | inanalysis")
-		heapOff   = flag.Uint64("heap", 0, "partition the heap: analysis zone offset in bytes (0 = linked sbrks)")
-		noSummary = flag.Bool("nosummary", false, "disable the data-flow register summary (save all caller-save registers)")
-		jobs      = flag.Int("j", 1, "instrument up to N input programs in parallel (0 = GOMAXPROCS)")
-		list      = flag.Bool("list", false, "list the built-in tools")
-		table     = flag.String("table", "", "regenerate a paper table: fig5 | fig6")
-		progs     = flag.String("progs", "", "comma-separated suite subset for -table (default: all 20)")
-		benchJSON = flag.String("bench-json", "", "also write -table measurements as JSON to this file")
-		stats     = flag.Bool("stats", false, "print instrumentation statistics")
-		layout    = flag.Bool("layout", false, "print the instrumented executable's memory layout (Figure 4)")
-		verbose   = flag.Bool("v", false, "progress output for -table")
+		toolName    = flag.String("t", "", "analysis tool to apply (see -list)")
+		outPath     = flag.String("o", "", "output executable (single input only; default: input with .atom extension, or a.atom)")
+		toolArgs    = flag.String("args", "", "comma-separated tool arguments (iargv)")
+		mode        = flag.String("mode", "wrapper", "register-save mode: wrapper | inanalysis")
+		heapOff     = flag.Uint64("heap", 0, "partition the heap: analysis zone offset in bytes (0 = linked sbrks)")
+		noSummary   = flag.Bool("nosummary", false, "disable the data-flow register summary (save all caller-save registers)")
+		jobs        = flag.Int("j", 1, "instrument up to N input programs in parallel (0 = GOMAXPROCS)")
+		list        = flag.Bool("list", false, "list the built-in tools")
+		table       = flag.String("table", "", "regenerate a paper table: fig5 | fig6")
+		progs       = flag.String("progs", "", "comma-separated suite subset for -table (default: all 20)")
+		benchJSON   = flag.String("bench-json", "", "write measurements as JSON: -table rows, or an instrument-mode per-phase breakdown")
+		stats       = flag.Bool("stats", false, "print instrumentation and cache statistics")
+		layout      = flag.Bool("layout", false, "print the instrumented executable's memory layout (Figure 4)")
+		verbose     = flag.Bool("v", false, "progress output for -table")
+		tracePath   = flag.String("trace", "", "write a Chrome trace_event JSON of the pipeline to this file")
+		metrics     = flag.Bool("metrics", false, "print a span/counter metrics snapshot to stderr")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		verifyTrace = flag.String("verify-trace", "", "validate a trace file written by -trace and exit (CI smoke)")
 	)
 	flag.Parse()
 
@@ -56,27 +75,33 @@ func main() {
 		for _, t := range tools.All() {
 			fmt.Printf("%-8s  %s\n", t.Name, t.Description)
 		}
-		return
-	case *table != "" || *benchJSON != "":
+		return 0
+	case *verifyTrace != "":
+		if err := checkTrace(*verifyTrace); err != nil {
+			fmt.Fprintln(os.Stderr, "atom:", err)
+			return 1
+		}
+		fmt.Printf("%s: ok\n", *verifyTrace)
+		return 0
+	case *table != "" || (*benchJSON != "" && *toolName == ""):
 		which := *table
 		if which == "" {
 			which = "fig5"
 		}
-		runTable(which, *progs, *benchJSON, *verbose)
-		return
+		return runTable(which, *progs, *benchJSON, *verbose)
 	}
 
 	if flag.NArg() < 1 || *toolName == "" {
 		fmt.Fprintln(os.Stderr, "usage: atom prog.x [prog2.x ...] -t tool [-o prog.atom] [-j N] [-mode wrapper|inanalysis] [-heap N]")
-		fmt.Fprintln(os.Stderr, "       atom -list | -table fig5|fig6 [-bench-json file]")
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "       atom -list | -table fig5|fig6 [-bench-json file] | -verify-trace file")
+		return 2
 	}
 	if flag.NArg() > 1 && *outPath != "" {
-		fatal(fmt.Errorf("-o is only valid with a single input program (outputs are named <input>.atom)"))
+		return fail(fmt.Errorf("-o is only valid with a single input program (outputs are named <input>.atom)"))
 	}
 	tool, ok := tools.ByName(*toolName)
 	if !ok {
-		fatal(fmt.Errorf("unknown tool %q; try -list", *toolName))
+		return fail(fmt.Errorf("unknown tool %q; try -list", *toolName))
 	}
 	opts := core.Options{HeapOffset: *heapOff, NoRegSummary: *noSummary}
 	switch *mode {
@@ -85,30 +110,98 @@ func main() {
 	case "inanalysis":
 		opts.Mode = core.SaveInAnalysis
 	default:
-		fatal(fmt.Errorf("bad -mode %q", *mode))
+		return fail(fmt.Errorf("bad -mode %q", *mode))
 	}
 	if *toolArgs != "" {
 		opts.ToolArgs = strings.Split(*toolArgs, ",")
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	// The stage context is nil (near-zero overhead) unless some consumer
+	// of spans or counters is active.
+	var (
+		traceSink   *obs.TraceSink
+		metricsSink *obs.MetricsSink
+		sinks       []obs.Sink
+	)
+	if *tracePath != "" {
+		traceSink = &obs.TraceSink{}
+		sinks = append(sinks, traceSink)
+	}
+	if *metrics || *benchJSON != "" {
+		metricsSink = &obs.MetricsSink{}
+		sinks = append(sinks, metricsSink)
+	}
+	var ctx *obs.Ctx
+	if len(sinks) > 0 {
+		ctx = obs.New(sinks...)
+	}
+
+	// Read every input before instrumenting any; per-program read errors
+	// fail soft like instrumentation errors do.
 	inputs := flag.Args()
 	apps := make([]*aout.File, len(inputs))
+	errs := make([]error, len(inputs))
 	for i, path := range inputs {
 		app, err := aout.ReadFile(path)
 		if err != nil {
-			fatal(err)
+			errs[i] = err
+			continue
 		}
 		apps[i] = app
 	}
 
-	results, err := atom.InstrumentSuite(apps, tool, opts, *jobs)
-	if err != nil {
-		fatal(err)
+	// Instrument the readable subset, then fold results and errors back
+	// into input order.
+	var good []*aout.File
+	var goodIdx []int
+	for i, app := range apps {
+		if app != nil {
+			good = append(good, app)
+			goodIdx = append(goodIdx, i)
+		}
 	}
+	results := make([]*core.Result, len(inputs))
+	if len(good) > 0 {
+		res, rerrs := core.InstrumentMany(ctx, good, tool, opts, *jobs)
+		for k, i := range goodIdx {
+			results[i] = res[k]
+			if rerrs[k] != nil {
+				errs[i] = fmt.Errorf("%s: %w", tool.Name, rerrs[k])
+			}
+		}
+	}
+
+	failed := 0
 	for i, res := range results {
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "atom: %s: %v\n", inputs[i], errs[i])
+			failed++
+			continue
+		}
 		out := outputName(inputs[i], *outPath)
-		if err := res.Exe.WriteFile(out); err != nil {
-			fatal(err)
+		_, sp := ctx.Start("atom.write", obs.String("file", out))
+		err := res.Exe.WriteFile(out)
+		sp.End()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "atom: %s: %v\n", inputs[i], err)
+			errs[i] = err
+			failed++
+			continue
 		}
 		if len(inputs) > 1 && *verbose {
 			fmt.Fprintf(os.Stderr, "atom: %s -> %s\n", inputs[i], out)
@@ -130,6 +223,88 @@ func main() {
 			}
 		}
 	}
+	if *stats {
+		ic, oc := core.ImageCacheStats(), rtl.ObjectCacheStats()
+		fmt.Printf("image cache:             %d hits, %d misses, %d builds\n", ic.Hits, ic.Misses, ic.Builds)
+		fmt.Printf("object cache:            %d hits, %d misses, %d builds\n", oc.Hits, oc.Misses, oc.Builds)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "atom: %d of %d programs failed\n", failed, len(inputs))
+	}
+
+	if *tracePath != "" {
+		if err := traceSink.WriteFile(*tracePath); err != nil {
+			return fail(err)
+		}
+	}
+	if *metrics {
+		obs.WriteMetrics(os.Stderr, metricsSink, ctx.Counters())
+	}
+	if *benchJSON != "" {
+		doc := figures.RunDoc{
+			Tool:     tool.Name,
+			Programs: inputs,
+			Phases: figures.BenchPhases{
+				BuildMS: msOf(metricsSink.Total("atom.image.build")),
+				PlanMS:  msOf(metricsSink.Total("atom.plan")),
+				ApplyMS: msOf(metricsSink.Total("atom.apply")),
+				WriteMS: msOf(metricsSink.Total("atom.write")),
+			},
+			Image:   figures.CacheStats(core.ImageCacheStats()),
+			Objects: figures.CacheStats(rtl.ObjectCacheStats()),
+		}
+		for i := range inputs {
+			if errs[i] != nil {
+				doc.Failed = append(doc.Failed, inputs[i])
+			}
+		}
+		for _, c := range ctx.Counters() {
+			doc.Counters = append(doc.Counters, figures.BenchCounter{Name: c.Name, Value: c.Value})
+		}
+		if err := figures.WriteRunJSON(*benchJSON, doc); err != nil {
+			return fail(err)
+		}
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+func msOf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// checkTrace validates a -trace output file: well-formed Chrome
+// trace_event JSON, non-empty, and covering the pipeline stages a cold
+// instrumentation run always exercises.
+func checkTrace(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	events, err := obs.ParseTrace(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("%s: trace has no events", path)
+	}
+	seen := map[string]bool{}
+	attributed := false
+	for _, e := range events {
+		seen[e.Name] = true
+		if e.Args["outcome"] != "" {
+			attributed = true
+		}
+	}
+	for _, want := range []string{"cc.compile", "link.link", "atom.plan", "atom.image.build", "atom.apply"} {
+		if !seen[want] {
+			return fmt.Errorf("%s: no %q span in trace", path, want)
+		}
+	}
+	if !attributed {
+		return fmt.Errorf("%s: no cache lookup with an outcome attribute in trace", path)
+	}
+	return nil
 }
 
 // outputName derives an output path: an explicit -o wins (single input),
@@ -163,7 +338,7 @@ func printLayout(app *aout.File, res *core.Result) {
 	}
 }
 
-func runTable(which, progList, benchJSON string, verbose bool) {
+func runTable(which, progList, benchJSON string, verbose bool) int {
 	var progress *os.File
 	if verbose {
 		progress = os.Stderr
@@ -176,31 +351,32 @@ func runTable(which, progList, benchJSON string, verbose bool) {
 	case "fig5":
 		rows, err := figures.Fig5(names, progress)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		figures.PrintFig5(os.Stdout, rows)
 		if benchJSON != "" {
 			if err := figures.WriteBenchJSON(benchJSON, rows, nil); err != nil {
-				fatal(err)
+				return fail(err)
 			}
 		}
 	case "fig6":
 		rows, err := figures.Fig6(names, progress)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		figures.PrintFig6(os.Stdout, rows)
 		if benchJSON != "" {
 			if err := figures.WriteBenchJSON(benchJSON, nil, rows); err != nil {
-				fatal(err)
+				return fail(err)
 			}
 		}
 	default:
-		fatal(fmt.Errorf("unknown table %q (fig5 or fig6)", which))
+		return fail(fmt.Errorf("unknown table %q (fig5 or fig6)", which))
 	}
+	return 0
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "atom:", err)
-	os.Exit(1)
+	return 1
 }

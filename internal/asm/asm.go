@@ -30,11 +30,21 @@ import (
 	"strings"
 
 	"atom/internal/aout"
+	"atom/internal/obs"
 )
 
 // Assemble translates one assembly source file into an object module.
 // name is used in error messages only.
 func Assemble(name, src string) (*aout.File, error) {
+	return AssembleCtx(nil, name, src)
+}
+
+// AssembleCtx is Assemble with a stage context: the two-pass assembly of
+// one module runs under an "asm.assemble" span annotated with the module
+// name and the text bytes it produced.
+func AssembleCtx(ctx *obs.Ctx, name, src string) (*aout.File, error) {
+	_, sp := ctx.Start("asm.assemble", obs.String("file", name))
+	defer sp.End()
 	a := &assembler{
 		name:    name,
 		symbols: map[string]*symbol{},
@@ -43,6 +53,7 @@ func Assemble(name, src string) (*aout.File, error) {
 	if err := a.run(src); err != nil {
 		return nil, err
 	}
+	sp.SetAttr(obs.Int("text_bytes", int64(len(a.file.Text))))
 	return a.file, nil
 }
 

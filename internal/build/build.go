@@ -22,6 +22,8 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+
+	"atom/internal/obs"
 )
 
 // ToolchainVersion is mixed into every key. Bump it when the code
@@ -35,6 +37,9 @@ type Key [sha256.Size]byte
 
 // String renders the key as hex, for diagnostics.
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Short renders the first 12 hex digits of the key, for span attributes.
+func (k Key) Short() string { return hex.EncodeToString(k[:6]) }
 
 // KeyBuilder accumulates inputs into a Key. Every field is written
 // length-prefixed, so concatenation ambiguities ("ab"+"c" vs "a"+"bc")
@@ -128,15 +133,48 @@ func NewCache() *Cache { return &Cache{} }
 // build's error is returned to every caller that observed it, then the
 // key is cleared so the next Get retries.
 func (c *Cache) Get(key Key, build func() (any, error)) (any, error) {
+	return c.GetCtx(nil, "", key, func(*obs.Ctx) (any, error) { return build() })
+}
+
+// GetCtx is Get with observability: each lookup opens a span named
+// "cache.get" (labelled with what artifact is being fetched and the short
+// key) whose outcome attribute records how it was served — "hit" for a
+// completed artifact, "wait" for joining an in-flight build (the
+// singleflight path), "miss" for running the build, "error" for a failed
+// build. The same outcomes feed
+// the cache.<outcome> counters. The build function receives the child
+// context, so everything it compiles or links nests under the lookup.
+func (c *Cache) GetCtx(ctx *obs.Ctx, what string, key Key, build func(*obs.Ctx) (any, error)) (any, error) {
+	var sp *obs.Span
+	bctx := ctx
+	if ctx.Enabled() {
+		bctx, sp = ctx.Start("cache.get",
+			obs.String("artifact", what), obs.String("key", key.Short()))
+	}
+	outcome := func(o string) {
+		sp.SetAttr(obs.String("outcome", o))
+		sp.End()
+		ctx.Count("cache."+o, 1)
+	}
+
 	c.mu.Lock()
 	if c.entries == nil {
 		c.entries = map[Key]*entry{}
 	}
 	if e, ok := c.entries[key]; ok {
 		c.mu.Unlock()
+		served := "hit"
+		select {
+		case <-e.done:
+		default:
+			served = "wait" // joined a build another caller is running
+		}
 		<-e.done
 		if e.err == nil {
 			c.hits.Add(1)
+			outcome(served)
+		} else {
+			outcome("error")
 		}
 		return e.val, e.err
 	}
@@ -145,7 +183,7 @@ func (c *Cache) Get(key Key, build func() (any, error)) (any, error) {
 	c.mu.Unlock()
 	c.misses.Add(1)
 
-	e.val, e.err = build()
+	e.val, e.err = build(bctx)
 	if e.err != nil {
 		// Unlatch before waking waiters: any Get arriving after close
 		// must find the key absent and retry the build.
@@ -155,8 +193,10 @@ func (c *Cache) Get(key Key, build func() (any, error)) (any, error) {
 		}
 		c.mu.Unlock()
 		c.errs.Add(1)
+		outcome("error")
 	} else {
 		c.builds.Add(1)
+		outcome("miss")
 	}
 	close(e.done)
 	return e.val, e.err
@@ -194,7 +234,12 @@ func (c *Cache) Reset() {
 
 // Memo is the typed convenience wrapper over Get.
 func Memo[T any](c *Cache, key Key, build func() (T, error)) (T, error) {
-	v, err := c.Get(key, func() (any, error) { return build() })
+	return MemoCtx(nil, c, "", key, func(*obs.Ctx) (T, error) { return build() })
+}
+
+// MemoCtx is the typed convenience wrapper over GetCtx.
+func MemoCtx[T any](ctx *obs.Ctx, c *Cache, what string, key Key, build func(*obs.Ctx) (T, error)) (T, error) {
+	v, err := c.GetCtx(ctx, what, key, func(bctx *obs.Ctx) (any, error) { return build(bctx) })
 	if err != nil {
 		var zero T
 		return zero, err

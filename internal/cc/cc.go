@@ -32,12 +32,23 @@ package cc
 import (
 	"atom/internal/aout"
 	"atom/internal/asm"
+	"atom/internal/obs"
 )
 
 // Compile translates MiniC source to assembly text. name is used in
 // diagnostics; include maps header names (as written in #include) to
 // their contents.
 func Compile(name, src string, include map[string]string) (string, error) {
+	return CompileCtx(nil, name, src, include)
+}
+
+// CompileCtx is Compile with a stage context: the whole translation unit
+// compiles under a "cc.compile" span, and code generation opens one
+// "cc.func" span per function (the compiler's unit of work), so traces
+// show where compile time goes file by file and function by function.
+func CompileCtx(ctx *obs.Ctx, name, src string, include map[string]string) (string, error) {
+	ctx, sp := ctx.Start("cc.compile", obs.String("file", name))
+	defer sp.End()
 	toks, err := lex(name, src, include)
 	if err != nil {
 		return "", err
@@ -49,14 +60,20 @@ func Compile(name, src string, include map[string]string) (string, error) {
 	if err := check(name, prog); err != nil {
 		return "", err
 	}
-	return generate(prog)
+	return generate(ctx, prog)
 }
 
 // Build compiles MiniC source into a relocatable object module.
 func Build(name, src string, include map[string]string) (*aout.File, error) {
-	asmText, err := Compile(name, src, include)
+	return BuildCtx(nil, name, src, include)
+}
+
+// BuildCtx is Build with a stage context threaded through compilation and
+// assembly.
+func BuildCtx(ctx *obs.Ctx, name, src string, include map[string]string) (*aout.File, error) {
+	asmText, err := CompileCtx(ctx, name, src, include)
 	if err != nil {
 		return nil, err
 	}
-	return asm.Assemble(name, asmText)
+	return asm.AssembleCtx(ctx, name, asmText)
 }

@@ -3,6 +3,8 @@ package cc
 import (
 	"fmt"
 	"strings"
+
+	"atom/internal/obs"
 )
 
 // The code generator translates a checked Program into assembly text for
@@ -53,8 +55,9 @@ type frameInfo struct {
 	size      int64
 }
 
-// generate produces the assembly for a checked program.
-func generate(prog *Program) (string, error) {
+// generate produces the assembly for a checked program, opening one
+// "cc.func" span per generated function.
+func generate(ctx *obs.Ctx, prog *Program) (string, error) {
 	g := &generator{strs: map[string]string{}}
 	g.out.WriteString("\t.text\n")
 	// A merged prototype aliases its definition's Decl contents, so the
@@ -64,9 +67,13 @@ func generate(prog *Program) (string, error) {
 	for _, d := range prog.Decls {
 		if d.Kind == DeclFunc && d.Body != nil && !emitted[d.Name] {
 			emitted[d.Name] = true
-			if err := g.genFunc(d); err != nil {
+			_, sp := ctx.Start("cc.func", obs.String("func", d.Name))
+			err := g.genFunc(d)
+			sp.End()
+			if err != nil {
 				return "", err
 			}
+			ctx.Count("cc.functions", 1)
 		}
 	}
 	g.genData(prog)

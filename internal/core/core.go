@@ -43,6 +43,7 @@ import (
 
 	"atom/internal/aout"
 	"atom/internal/link"
+	"atom/internal/obs"
 	"atom/internal/om"
 )
 
@@ -134,15 +135,24 @@ type Result struct {
 // and apply (rewrite the application and stamp the image into its
 // text-data gap).
 func Instrument(app *aout.File, tool Tool, opts Options) (*Result, error) {
-	q, err := planFor(app, tool, opts)
+	return InstrumentCtx(nil, app, tool, opts)
+}
+
+// InstrumentCtx is Instrument with a stage context: the plan, tool-image
+// and apply stages each run under their own span ("atom.plan",
+// "atom.image.build" behind a "cache.get" lookup, "atom.apply"), so a
+// trace of a suite run shows exactly which program paid for the image
+// build and which ones reused it.
+func InstrumentCtx(ctx *obs.Ctx, app *aout.File, tool Tool, opts Options) (*Result, error) {
+	q, err := planFor(ctx, app, tool, opts)
 	if err != nil {
 		return nil, err
 	}
-	ti, err := toolImageFor(tool, opts, q)
+	ti, err := toolImageFor(ctx, tool, opts, q)
 	if err != nil {
 		return nil, err
 	}
-	return applyPlan(app, q, ti, opts)
+	return applyPlan(ctx, app, q, ti, opts)
 }
 
 // Apply stamps a prebuilt tool image into an application: the second
@@ -155,30 +165,37 @@ func Instrument(app *aout.File, tool Tool, opts Options) (*Result, error) {
 // different procedures), the right image is fetched — or built — from
 // the cache transparently.
 func Apply(app *aout.File, ti *ToolImage, opts Options) (*Result, error) {
+	return ApplyCtx(nil, app, ti, opts)
+}
+
+// ApplyCtx is Apply with a stage context.
+func ApplyCtx(ctx *obs.Ctx, app *aout.File, ti *ToolImage, opts Options) (*Result, error) {
 	if ti == nil {
 		return nil, fmt.Errorf("atom: Apply called with a nil tool image")
 	}
-	q, err := planFor(app, ti.tool, opts)
+	q, err := planFor(ctx, app, ti.tool, opts)
 	if err != nil {
 		return nil, err
 	}
 	use := ti
 	if key := imageKey(ti.tool, opts, q.protos, calledTargets(q)); key != ti.key {
-		if use, err = toolImageFor(ti.tool, opts, q); err != nil {
+		if use, err = toolImageFor(ctx, ti.tool, opts, q); err != nil {
 			return nil, err
 		}
 	}
-	return applyPlan(app, q, use, opts)
+	return applyPlan(ctx, app, q, use, opts)
 }
 
 // planFor runs the tool's instrumentation routine over the application
 // and returns the resulting plan: declared prototypes, the journal of
 // call insertions, and interned constant blobs.
-func planFor(app *aout.File, tool Tool, opts Options) (*Instrumentation, error) {
+func planFor(ctx *obs.Ctx, app *aout.File, tool Tool, opts Options) (*Instrumentation, error) {
 	if tool.Instrument == nil {
 		return nil, fmt.Errorf("atom: tool %q has no instrumentation routine", tool.Name)
 	}
-	prog, err := om.Build(app)
+	pctx, sp := ctx.Start("atom.plan", obs.String("tool", tool.Name))
+	defer sp.End()
+	prog, err := om.BuildCtx(pctx, app)
 	if err != nil {
 		return nil, err
 	}
@@ -190,13 +207,16 @@ func planFor(app *aout.File, tool Tool, opts Options) (*Instrumentation, error) 
 	if err := tool.Instrument(q); err != nil {
 		return nil, fmt.Errorf("atom: instrumentation routine for %q: %w", tool.Name, err)
 	}
+	sp.SetAttr(obs.Int("sites", int64(len(q.journal))))
 	return q, nil
 }
 
 // applyPlan rewrites the application according to a plan and composes the
 // final executable with the (rebased) analysis image in its text-data gap
 // (Figure 4). This is the only per-application work in the pipeline.
-func applyPlan(app *aout.File, q *Instrumentation, ti *ToolImage, opts Options) (*Result, error) {
+func applyPlan(ctx *obs.Ctx, app *aout.File, q *Instrumentation, ti *ToolImage, opts Options) (*Result, error) {
+	actx, sp := ctx.Start("atom.apply", obs.String("tool", ti.tool.Name))
+	defer sp.End()
 	// Verify every called analysis procedure against the image.
 	seen := map[string]bool{}
 	for _, req := range q.journal {
@@ -263,10 +283,10 @@ func applyPlan(app *aout.File, q *Instrumentation, ti *ToolImage, opts Options) 
 	// analysis image right behind it (Figure 4). Rebase is a rigid shift:
 	// the image was linked once at a canonical base and keeps its
 	// relocation records, so no relink happens here.
-	lay := q.prog.Layout()
+	lay := q.prog.LayoutCtx(actx)
 	stats.InstrText = lay.TextSize()
 	analysisBase := (app.TextAddr + lay.TextSize() + 15) &^ 15
-	img, err := link.Rebase(ti.img, analysisBase)
+	img, err := link.RebaseCtx(actx, ti.img, analysisBase)
 	if err != nil {
 		return nil, err
 	}
@@ -304,7 +324,7 @@ func applyPlan(app *aout.File, q *Instrumentation, ti *ToolImage, opts Options) 
 	for i, c := range q.consts {
 		globals[c.label] = constAddr[i]
 	}
-	res, err := lay.Finish(func(name string) (uint64, bool) {
+	res, err := lay.FinishCtx(actx, func(name string) (uint64, bool) {
 		v, ok := globals[name]
 		return v, ok
 	})
@@ -346,5 +366,10 @@ func applyPlan(app *aout.File, q *Instrumentation, ti *ToolImage, opts Options) 
 		BssAddr:  app.BssAddr,
 		Symbols:  symbols,
 	}
+	sp.SetAttr(
+		obs.Int("sites", int64(stats.Calls)),
+		obs.Int("inserted_insts", int64(stats.InsertedInsts)))
+	ctx.Count("atom.sites", int64(stats.Calls))
+	ctx.Count("atom.bytes_marshalled", int64(len(out.Text)+len(out.Data)))
 	return &Result{Exe: out, HeapOffset: opts.HeapOffset, PCMap: lay, Stats: stats}, nil
 }

@@ -9,6 +9,7 @@ import (
 	"atom/internal/aout"
 	"atom/internal/asm"
 	"atom/internal/link"
+	"atom/internal/obs"
 	"atom/internal/om"
 )
 
@@ -75,7 +76,7 @@ func spliceSaves(prog *om.Program, targets []string, save map[string]om.RegSet) 
 // says may be clobbered (minus those the call site already saved),
 // forwards the call, and restores. Wrappers for >6-argument routines also
 // relay the stack arguments.
-func wrapperModule(names []string, protos map[string]*Proto, wrapSave map[string]om.RegSet) (*aout.File, error) {
+func wrapperModule(ctx *obs.Ctx, names []string, protos map[string]*Proto, wrapSave map[string]om.RegSet) (*aout.File, error) {
 	var b strings.Builder
 	b.WriteString("\t.text\n")
 	for _, name := range names {
@@ -128,7 +129,7 @@ func wrapperModule(names []string, protos map[string]*Proto, wrapSave map[string
 		fmt.Fprintf(&b, "\tlda sp, %d(sp)\n", frame)
 		fmt.Fprintf(&b, "\tret (ra)\n\t.end %s\n", w)
 	}
-	return asm.Assemble("atom$wrappers.s", b.String())
+	return asm.AssembleCtx(ctx, "atom$wrappers.s", b.String())
 }
 
 // WrapperName returns the wrapper symbol for an analysis procedure.

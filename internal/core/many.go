@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"atom/internal/aout"
+	"atom/internal/obs"
+)
+
+// InstrumentMany applies one tool to many applications concurrently — the
+// paper's workflow for Figures 5 and 6, where each tool is run over the
+// complete SPEC92 suite. The tool's analysis image is compiled and linked
+// once (the first worker to need it builds it; the rest share it via the
+// content-addressed cache) and only the per-application rewrite fans out
+// across workers.
+//
+// workers bounds the number of applications instrumented at once; zero or
+// negative means GOMAXPROCS. The run fails soft: results and errs are
+// parallel to apps, results[i] is nil exactly when errs[i] is non-nil,
+// and one application's failure never prevents the others from being
+// instrumented. Each worker runs under its own child of ctx, so spans
+// from concurrent applications land on separate trace tracks.
+func InstrumentMany(ctx *obs.Ctx, apps []*aout.File, tool Tool, opts Options, workers int) (results []*Result, errs []error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(apps) {
+		workers = len(apps)
+	}
+	results = make([]*Result, len(apps))
+	errs = make([]error, len(apps))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				ictx, sp := ctx.Start("atom.instrument",
+					obs.String("tool", tool.Name),
+					obs.Int("app", int64(i)))
+				res, err := InstrumentCtx(ictx, apps[i], tool, opts)
+				sp.End()
+				if err != nil {
+					errs[i] = fmt.Errorf("app %d: %w", i, err)
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range apps {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results, errs
+}

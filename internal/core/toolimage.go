@@ -8,6 +8,7 @@ import (
 	"atom/internal/aout"
 	"atom/internal/build"
 	"atom/internal/link"
+	"atom/internal/obs"
 	"atom/internal/om"
 	"atom/internal/rtl"
 )
@@ -123,11 +124,11 @@ func imageKey(tool Tool, opts Options, protos map[string]*Proto, targets []strin
 }
 
 // toolImageFor returns the (cached) analysis image matching a plan.
-func toolImageFor(tool Tool, opts Options, q *Instrumentation) (*ToolImage, error) {
+func toolImageFor(ctx *obs.Ctx, tool Tool, opts Options, q *Instrumentation) (*ToolImage, error) {
 	targets := calledTargets(q)
 	key := imageKey(tool, opts, q.protos, targets)
-	return build.Memo(imageCache, key, func() (*ToolImage, error) {
-		ti, err := buildToolImage(tool, opts, q.protos, targets)
+	return build.MemoCtx(ctx, imageCache, "toolimage", key, func(bctx *obs.Ctx) (*ToolImage, error) {
+		ti, err := buildToolImage(bctx, tool, opts, q.protos, targets)
 		if err != nil {
 			return nil, err
 		}
@@ -149,38 +150,46 @@ var probeCache = build.NewCache()
 // again, or instrumenting any program with the same tool and options, is
 // a cache hit.
 func BuildToolImage(tool Tool, opts Options) (*ToolImage, error) {
+	return BuildToolImageCtx(nil, tool, opts)
+}
+
+// BuildToolImageCtx is BuildToolImage with a stage context.
+func BuildToolImageCtx(ctx *obs.Ctx, tool Tool, opts Options) (*ToolImage, error) {
 	if tool.Instrument == nil {
 		return nil, fmt.Errorf("atom: tool %q has no instrumentation routine", tool.Name)
 	}
-	probe, err := build.Memo(probeCache, build.NewKey("probe-app").Sum(), func() (*aout.File, error) {
-		return rtl.BuildProgram("atom$probe.c", "int main() { return 0; }")
-	})
+	probe, err := build.MemoCtx(ctx, probeCache, "probe-app", build.NewKey("probe-app").Sum(),
+		func(bctx *obs.Ctx) (*aout.File, error) {
+			return rtl.BuildProgramCtx(bctx, "atom$probe.c", "int main() { return 0; }")
+		})
 	if err != nil {
 		return nil, fmt.Errorf("atom: building probe program: %w", err)
 	}
-	q, err := planFor(probe, tool, opts)
+	q, err := planFor(ctx, probe, tool, opts)
 	if err != nil {
 		return nil, err
 	}
-	return toolImageFor(tool, opts, q)
+	return toolImageFor(ctx, tool, opts, q)
 }
 
 // buildToolImage does the actual compile/link work: analysis objects,
 // register summary, wrappers or in-analysis splices, canonical-base link,
 // sbrk redirection.
-func buildToolImage(tool Tool, opts Options, protos map[string]*Proto, targets []string) (*ToolImage, error) {
+func buildToolImage(ctx *obs.Ctx, tool Tool, opts Options, protos map[string]*Proto, targets []string) (*ToolImage, error) {
+	ictx, isp := ctx.Start("atom.image.build", obs.String("tool", tool.Name))
+	defer isp.End()
 	if len(tool.Analysis) == 0 {
 		return nil, fmt.Errorf("atom: tool has no analysis routines")
 	}
-	objs, err := rtl.BuildObjects(tool.Analysis)
+	objs, err := rtl.BuildObjectsCtx(ictx, tool.Analysis)
 	if err != nil {
 		return nil, fmt.Errorf("atom: analysis routines: %w", err)
 	}
-	lib, err := rtl.Lib()
+	lib, err := rtl.LibCtx(ictx)
 	if err != nil {
 		return nil, err
 	}
-	prov, err := link.Link(link.Config{
+	prov, err := link.LinkCtx(ictx, link.Config{
 		TextAddr:      link.DefaultTextAddr,
 		DataAfterText: true,
 		Entry:         "-",
@@ -189,11 +198,11 @@ func buildToolImage(tool Tool, opts Options, protos map[string]*Proto, targets [
 	if err != nil {
 		return nil, fmt.Errorf("atom: linking analysis routines: %w", err)
 	}
-	aprog, err := om.Build(prov)
+	aprog, err := om.BuildCtx(ictx, prov)
 	if err != nil {
 		return nil, fmt.Errorf("atom: analysis image: %w", err)
 	}
-	summary := aprog.ModifiedRegs()
+	summary := aprog.ModifiedRegsCtx(ictx)
 
 	ti := &ToolImage{
 		tool:     tool,
@@ -276,7 +285,7 @@ func buildToolImage(tool Tool, opts Options, protos map[string]*Proto, targets [
 	}
 
 	if opts.Mode == SaveWrapper && len(defined) > 0 {
-		wrap, err := wrapperModule(defined, protos, wrapSave)
+		wrap, err := wrapperModule(ictx, defined, protos, wrapSave)
 		if err != nil {
 			return nil, fmt.Errorf("atom: wrappers: %w", err)
 		}
@@ -294,25 +303,25 @@ func buildToolImage(tool Tool, opts Options, protos map[string]*Proto, targets [
 		}
 		cfg.DataAddr = (link.DefaultTextAddr + size + extraText + 15) &^ 15
 	}
-	img, err := link.Link(cfg, objs, lib)
+	img, err := link.LinkCtx(ictx, cfg, objs, lib)
 	if err != nil {
 		return nil, fmt.Errorf("atom: linking analysis image: %w", err)
 	}
 
 	if opts.Mode == SaveInAnalysis && extraText > 0 {
-		sprog, err := om.Build(img)
+		sprog, err := om.BuildCtx(ictx, img)
 		if err != nil {
 			return nil, err
 		}
 		if err := spliceSaves(sprog, targets, spliceSave); err != nil {
 			return nil, err
 		}
-		lay := sprog.Layout()
+		lay := sprog.LayoutCtx(ictx)
 		if lay.TextSize() != uint64(len(img.Text))+extraText {
 			return nil, fmt.Errorf("atom: internal: splice growth %d != predicted %d",
 				lay.TextSize()-uint64(len(img.Text)), extraText)
 		}
-		res, err := lay.Finish(func(string) (uint64, bool) { return 0, false })
+		res, err := lay.FinishCtx(ictx, func(string) (uint64, bool) { return 0, false })
 		if err != nil {
 			return nil, err
 		}
@@ -334,5 +343,8 @@ func buildToolImage(tool Tool, opts Options, protos map[string]*Proto, targets [
 		return nil, err
 	}
 	ti.img = img
+	isp.SetAttr(
+		obs.Int("text_bytes", int64(len(img.Text))),
+		obs.Int("data_bytes", int64(len(img.Data))))
 	return ti, nil
 }

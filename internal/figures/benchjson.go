@@ -4,26 +4,57 @@ import (
 	"encoding/json"
 	"os"
 	"time"
+
+	"atom/internal/build"
 )
 
 // Machine-readable benchmark output, for dashboards and regression
 // tracking. The schema is versioned so consumers can detect changes.
+// Emission is deterministic: encoding/json renders struct fields in
+// declaration order and map-free documents byte-identically, so two runs
+// over identical measurements produce identical files.
 
 // BenchJSON is the top-level document WriteBenchJSON emits.
 type BenchJSON struct {
-	Schema string         `json:"schema"` // "atom-bench/v1"
+	Schema string         `json:"schema"` // "atom-bench/v2"
 	Fig5   []BenchFig5Row `json:"fig5,omitempty"`
 	Fig6   []BenchFig6Row `json:"fig6,omitempty"`
 }
 
+// BenchPhases is a per-phase time breakdown in milliseconds, as measured
+// by the observability layer (internal/obs) rather than ad-hoc timers.
+// Phases that did not run are zero.
+type BenchPhases struct {
+	BuildMS float64 `json:"build_ms"`           // tool-image compile + link
+	PlanMS  float64 `json:"plan_ms"`            // instrumentation routine over the IR
+	ApplyMS float64 `json:"apply_ms"`           // per-program rewrite + image stamp
+	WriteMS float64 `json:"write_ms,omitempty"` // output serialization (cmd/atom only)
+}
+
+// BenchCacheStats is a snapshot of one artifact cache's activity.
+type BenchCacheStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Builds uint64 `json:"builds"`
+	Errors uint64 `json:"errors,omitempty"`
+}
+
+// CacheStats converts a cache snapshot into its JSON form.
+func CacheStats(s build.Stats) BenchCacheStats {
+	return BenchCacheStats{Hits: s.Hits, Misses: s.Misses, Builds: s.Builds, Errors: s.Errors}
+}
+
 // BenchFig5Row mirrors Fig5Row with durations in milliseconds.
 type BenchFig5Row struct {
-	Tool        string  `json:"tool"`
-	Programs    int     `json:"programs"`
-	ToolBuildMS float64 `json:"tool_build_ms"` // one-time image build
-	TotalMS     float64 `json:"total_ms"`      // warm per-program rewrites, summed
-	AvgMS       float64 `json:"avg_ms"`        // warm rewrite per program
-	PaperAvgSec float64 `json:"paper_avg_sec"` // published reference
+	Tool        string          `json:"tool"`
+	Programs    int             `json:"programs"`
+	ToolBuildMS float64         `json:"tool_build_ms"` // one-time image build
+	TotalMS     float64         `json:"total_ms"`      // warm per-program rewrites, summed
+	AvgMS       float64         `json:"avg_ms"`        // warm rewrite per program
+	PaperAvgSec float64         `json:"paper_avg_sec"` // published reference
+	Phases      BenchPhases     `json:"phases"`
+	ImageCache  BenchCacheStats `json:"image_cache"`
+	ObjectCache BenchCacheStats `json:"object_cache"`
 }
 
 // BenchFig6Row mirrors Fig6Row.
@@ -40,7 +71,7 @@ func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond)
 // WriteBenchJSON writes Figure 5/6 measurements as JSON to path. Either
 // row slice may be nil.
 func WriteBenchJSON(path string, fig5 []Fig5Row, fig6 []Fig6Row) error {
-	doc := BenchJSON{Schema: "atom-bench/v1"}
+	doc := BenchJSON{Schema: "atom-bench/v2"}
 	for _, r := range fig5 {
 		doc.Fig5 = append(doc.Fig5, BenchFig5Row{
 			Tool:        r.Tool,
@@ -49,6 +80,13 @@ func WriteBenchJSON(path string, fig5 []Fig5Row, fig6 []Fig6Row) error {
 			TotalMS:     ms(r.Total),
 			AvgMS:       ms(r.Avg),
 			PaperAvgSec: PaperFig5[r.Tool].Avg,
+			Phases: BenchPhases{
+				BuildMS: ms(r.ImageBuild),
+				PlanMS:  ms(r.PlanTime),
+				ApplyMS: ms(r.ApplyTime),
+			},
+			ImageCache:  CacheStats(r.ImageCache),
+			ObjectCache: CacheStats(r.ObjectCache),
 		})
 	}
 	for _, r := range fig6 {
@@ -60,6 +98,36 @@ func WriteBenchJSON(path string, fig5 []Fig5Row, fig6 []Fig6Row) error {
 			PaperRatio: PaperFig6[r.Tool].Ratio,
 		})
 	}
+	return writeJSON(path, doc)
+}
+
+// RunDoc is the document `atom -t tool -bench-json out.json prog.x ...`
+// writes: one instrument-mode run with its per-phase breakdown and cache
+// statistics.
+type RunDoc struct {
+	Schema   string          `json:"schema"` // "atom-run/v1"
+	Tool     string          `json:"tool"`
+	Programs []string        `json:"programs"`
+	Failed   []string        `json:"failed,omitempty"`
+	Phases   BenchPhases     `json:"phases"`
+	Image    BenchCacheStats `json:"image_cache"`
+	Objects  BenchCacheStats `json:"object_cache"`
+	Counters []BenchCounter  `json:"counters,omitempty"`
+}
+
+// BenchCounter is one named pipeline counter (sorted by name upstream).
+type BenchCounter struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// WriteRunJSON writes an instrument-mode run document.
+func WriteRunJSON(path string, doc RunDoc) error {
+	doc.Schema = "atom-run/v1"
+	return writeJSON(path, doc)
+}
+
+func writeJSON(path string, doc any) error {
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

@@ -19,7 +19,9 @@ import (
 	"sync"
 	"time"
 
+	"atom/internal/build"
 	"atom/internal/core"
+	"atom/internal/obs"
 	"atom/internal/rtl"
 	"atom/internal/spec"
 	"atom/internal/tools"
@@ -75,6 +77,19 @@ type Fig5Row struct {
 	Total       time.Duration // wall time to rewrite the whole suite (warm)
 	Avg         time.Duration // per-program rewrite time
 	Programs    int
+
+	// Per-phase breakdown from the observability layer: cumulative time
+	// in the plan (instrumentation-routine), apply (rewrite) and image
+	// build stages across this tool's whole measurement (the plan total
+	// includes the probe plan BuildToolImage runs).
+	PlanTime   time.Duration
+	ApplyTime  time.Duration
+	ImageBuild time.Duration
+
+	// Cache activity during this tool's measurement (the caches are reset
+	// per tool, so these are per-tool deltas).
+	ImageCache  build.Stats
+	ObjectCache build.Stats
 }
 
 // Fig5 instruments the given suite programs (all 20 when names is empty)
@@ -99,10 +114,16 @@ func Fig5(names []string, progress io.Writer) ([]Fig5Row, error) {
 	for _, tname := range tools.Names() {
 		tool, _ := tools.ByName(tname)
 
+		// A private metrics sink per tool turns the pipeline's spans into
+		// the per-phase breakdown (plan/apply/image-build) the JSON output
+		// reports alongside the wall-clock columns.
+		metrics := &obs.MetricsSink{}
+		mctx := obs.New(metrics)
+
 		core.ResetImageCache()
 		rtl.ResetObjectCache()
 		start := time.Now()
-		ti, err := core.BuildToolImage(tool, core.Options{})
+		ti, err := core.BuildToolImageCtx(mctx, tool, core.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("fig5: building %s: %w", tname, err)
 		}
@@ -110,11 +131,11 @@ func Fig5(names []string, progress io.Writer) ([]Fig5Row, error) {
 
 		start = time.Now()
 		for _, pn := range names {
-			exe, err := spec.Build(pn)
+			exe, err := spec.BuildCtx(mctx, pn)
 			if err != nil {
 				return nil, err
 			}
-			if _, err := core.Apply(exe, ti, core.Options{}); err != nil {
+			if _, err := core.ApplyCtx(mctx, exe, ti, core.Options{}); err != nil {
 				return nil, fmt.Errorf("fig5: %s on %s: %w", tname, pn, err)
 			}
 		}
@@ -126,6 +147,11 @@ func Fig5(names []string, progress io.Writer) ([]Fig5Row, error) {
 			Total:       total,
 			Avg:         total / time.Duration(len(names)),
 			Programs:    len(names),
+			PlanTime:    metrics.Total("atom.plan"),
+			ApplyTime:   metrics.Total("atom.apply"),
+			ImageBuild:  metrics.Total("atom.image.build"),
+			ImageCache:  core.ImageCacheStats(),
+			ObjectCache: rtl.ObjectCacheStats(),
 		})
 		if progress != nil {
 			fmt.Fprintf(progress, "fig5: %-8s build %v, apply %v\n",

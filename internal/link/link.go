@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"atom/internal/aout"
+	"atom/internal/obs"
 )
 
 // Default load addresses. The stack occupies [0, TextAddr) and grows down
@@ -63,6 +64,24 @@ type Library struct {
 // Link combines the given object modules, resolving undefined symbols
 // against the libraries, and produces an executable.
 func Link(cfg Config, objs []*aout.File, libs ...*Library) (*aout.File, error) {
+	return LinkCtx(nil, cfg, objs, libs...)
+}
+
+// LinkCtx is Link with a stage context: the whole link runs under a
+// "link.link" span, with child spans for section layout plus symbol
+// binding ("link.layout") and relocation resolution ("link.resolve").
+func LinkCtx(ctx *obs.Ctx, cfg Config, objs []*aout.File, libs ...*Library) (*aout.File, error) {
+	ctx, sp := ctx.Start("link.link", obs.Int("modules", int64(len(objs))))
+	defer sp.End()
+	out, err := linkCtx(ctx, cfg, objs, libs...)
+	if err == nil {
+		sp.SetAttr(obs.Int("text_bytes", int64(len(out.Text))),
+			obs.Int("data_bytes", int64(len(out.Data))))
+	}
+	return out, err
+}
+
+func linkCtx(ctx *obs.Ctx, cfg Config, objs []*aout.File, libs ...*Library) (*aout.File, error) {
 	if cfg.TextAddr == 0 {
 		cfg.TextAddr = DefaultTextAddr
 	}
@@ -91,7 +110,7 @@ func Link(cfg Config, objs []*aout.File, libs ...*Library) (*aout.File, error) {
 	}
 
 	ld := &linker{cfg: cfg, globals: map[string]symAddr{}}
-	return ld.run(modules)
+	return ld.run(ctx, modules)
 }
 
 type symAddr struct {
@@ -162,7 +181,8 @@ type linker struct {
 	symIndex [][]int
 }
 
-func (ld *linker) run(modules []*aout.File) (*aout.File, error) {
+func (ld *linker) run(ctx *obs.Ctx, modules []*aout.File) (*aout.File, error) {
+	_, laySp := ctx.Start("link.layout", obs.Int("modules", int64(len(modules))))
 	// Lay out sections: concatenate text (4-byte aligned already), then
 	// data and bss each 16-byte aligned per module.
 	var textSize, dataSize, bssSize uint64
@@ -199,6 +219,7 @@ func (ld *linker) run(modules []*aout.File) (*aout.File, error) {
 		out.Bss = bssSize
 	}
 	if ld.cfg.TextAddr+textSize > ld.cfg.DataAddr {
+		laySp.End()
 		return nil, fmt.Errorf("link: text segment (%#x+%#x) overlaps data segment at %#x",
 			ld.cfg.TextAddr, textSize, ld.cfg.DataAddr)
 	}
@@ -208,10 +229,15 @@ func (ld *linker) run(modules []*aout.File) (*aout.File, error) {
 		copy(out.Data[ld.dataOff[i]:], m.Data)
 	}
 
-	if err := ld.buildSymbols(modules); err != nil {
+	err := ld.buildSymbols(modules)
+	laySp.End()
+	if err != nil {
 		return nil, err
 	}
-	if err := ld.applyRelocs(modules); err != nil {
+	_, resSp := ctx.Start("link.resolve")
+	err = ld.applyRelocs(modules)
+	resSp.End()
+	if err != nil {
 		return nil, err
 	}
 

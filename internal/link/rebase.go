@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"atom/internal/aout"
+	"atom/internal/obs"
 )
 
 // Rebase returns a copy of a linked image moved rigidly so its text
@@ -22,6 +23,15 @@ import (
 // The input is not modified. When newTextAddr equals the current base the
 // image itself is returned; callers must treat the result as read-only.
 func Rebase(img *aout.File, newTextAddr uint64) (*aout.File, error) {
+	return RebaseCtx(nil, img, newTextAddr)
+}
+
+// RebaseCtx is Rebase with a stage context: the rigid shift and its
+// relocation re-patch run under a "link.rebase" span.
+func RebaseCtx(ctx *obs.Ctx, img *aout.File, newTextAddr uint64) (*aout.File, error) {
+	_, sp := ctx.Start("link.rebase",
+		obs.Int("relocs", int64(len(img.Relocs))))
+	defer sp.End()
 	if !img.Linked {
 		return nil, fmt.Errorf("link: rebase of unlinked module")
 	}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// MetricsSink aggregates completed spans by name: how many times each
+// stage ran and how long it took in total. Together with the Ctx's
+// counters it renders the plain-text metrics snapshot behind
+// `cmd/atom -metrics` and the per-phase numbers in the bench JSON.
+type MetricsSink struct {
+	mu  sync.Mutex
+	agg map[string]spanAgg
+}
+
+type spanAgg struct {
+	count int64
+	total time.Duration
+}
+
+// SpanEnd folds the span into the per-name aggregate.
+func (m *MetricsSink) SpanEnd(sd SpanData) {
+	m.mu.Lock()
+	if m.agg == nil {
+		m.agg = map[string]spanAgg{}
+	}
+	a := m.agg[sd.Name]
+	a.count++
+	a.total += sd.Dur
+	m.agg[sd.Name] = a
+	m.mu.Unlock()
+}
+
+// Total returns the summed duration of all spans with the given name.
+func (m *MetricsSink) Total(name string) time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.agg[name].total
+}
+
+// SpanCount returns how many spans with the given name completed.
+func (m *MetricsSink) SpanCount(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.agg[name].count
+}
+
+// SpanStat is one aggregated row of the metrics snapshot.
+type SpanStat struct {
+	Name  string
+	Count int64
+	Total time.Duration
+}
+
+// Stats returns the per-name aggregates sorted by name.
+func (m *MetricsSink) Stats() []SpanStat {
+	m.mu.Lock()
+	out := make([]SpanStat, 0, len(m.agg))
+	for n, a := range m.agg {
+		out = append(out, SpanStat{Name: n, Count: a.count, Total: a.total})
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteTo renders the span aggregates as text, sorted by name. The
+// output is a deterministic function of the aggregated data (map
+// iteration never leaks into it).
+func (m *MetricsSink) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	b.WriteString("# spans: name count total_ms\n")
+	for _, s := range m.Stats() {
+		fmt.Fprintf(&b, "%-32s %8d %12.3f\n", s.Name, s.Count, float64(s.Total.Nanoseconds())/1e6)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// FormatCounters renders counters as text, one per line. The input is
+// already sorted (Ctx.Counters guarantees it), so identical runs produce
+// byte-identical output — the property the determinism tests pin down.
+func FormatCounters(counters []Counter) string {
+	var b strings.Builder
+	b.WriteString("# counters: name value\n")
+	for _, c := range counters {
+		fmt.Fprintf(&b, "%-32s %12d\n", c.Name, c.Value)
+	}
+	return b.String()
+}
+
+// WriteMetrics renders the full snapshot — span aggregates followed by
+// counters — to w.
+func WriteMetrics(w io.Writer, m *MetricsSink, counters []Counter) error {
+	if m != nil {
+		if _, err := m.WriteTo(w); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, FormatCounters(counters))
+	return err
+}

@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedClock returns a clock that advances by step on every reading, so
+// span timestamps are a deterministic function of call order.
+func fixedClock(step time.Duration) func() time.Duration {
+	var t time.Duration
+	return func() time.Duration {
+		t += step
+		return t
+	}
+}
+
+// TestSpanNesting drives a table of span-tree shapes and checks the
+// parent/track bookkeeping the trace export relies on.
+func TestSpanNesting(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(c *Ctx)
+		want map[string]string // span name -> parent span name ("" = root)
+	}{
+		{
+			name: "flat",
+			run: func(c *Ctx) {
+				_, a := c.Start("a")
+				a.End()
+				_, b := c.Start("b")
+				b.End()
+			},
+			want: map[string]string{"a": "", "b": ""},
+		},
+		{
+			name: "nested",
+			run: func(c *Ctx) {
+				cc, a := c.Start("a")
+				ccc, b := cc.Start("b")
+				_, d := ccc.Start("c")
+				d.End()
+				b.End()
+				a.End()
+			},
+			want: map[string]string{"a": "", "b": "a", "c": "b"},
+		},
+		{
+			name: "siblings-under-parent",
+			run: func(c *Ctx) {
+				cc, p := c.Start("p")
+				_, x := cc.Start("x")
+				x.End()
+				_, y := cc.Start("y")
+				y.End()
+				p.End()
+			},
+			want: map[string]string{"p": "", "x": "p", "y": "p"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := &TraceSink{}
+			c := newCtx(fixedClock(time.Millisecond), ts)
+			tc.run(c)
+			spans := ts.Spans()
+			byID := map[uint64]SpanData{}
+			for _, s := range spans {
+				byID[s.ID] = s
+			}
+			got := map[string]string{}
+			for _, s := range spans {
+				parent := ""
+				if s.Parent != 0 {
+					parent = byID[s.Parent].Name
+				}
+				got[s.Name] = parent
+				// Track must always be the top-level ancestor.
+				top := s
+				for top.Parent != 0 {
+					top = byID[top.Parent]
+				}
+				if s.Track != top.ID {
+					t.Errorf("span %s: track %d, want top-level ancestor %d", s.Name, s.Track, top.ID)
+				}
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d spans %v, want %d", len(got), got, len(tc.want))
+			}
+			for name, parent := range tc.want {
+				if got[name] != parent {
+					t.Errorf("span %s: parent %q, want %q", name, got[name], parent)
+				}
+			}
+		})
+	}
+}
+
+// TestSpanTiming checks that durations are measured between Start and End
+// and that double-End is idempotent.
+func TestSpanTiming(t *testing.T) {
+	ts := &TraceSink{}
+	c := newCtx(fixedClock(time.Millisecond), ts)
+	_, sp := c.Start("work") // start at 1ms
+	sp.End()                 // end at 2ms
+	sp.End()                 // ignored
+	spans := ts.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1 (double End must not deliver twice)", len(spans))
+	}
+	if spans[0].Start != time.Millisecond || spans[0].Dur != time.Millisecond {
+		t.Errorf("span start %v dur %v, want 1ms and 1ms", spans[0].Start, spans[0].Dur)
+	}
+}
+
+// TestCounters exercises counter accounting, including concurrent adds.
+func TestCounters(t *testing.T) {
+	cases := []struct {
+		name string
+		add  []Counter // sequence of (name, delta) adds
+		want []Counter // expected sorted snapshot
+	}{
+		{
+			name: "accumulate",
+			add:  []Counter{{"a", 1}, {"b", 10}, {"a", 2}},
+			want: []Counter{{"a", 3}, {"b", 10}},
+		},
+		{
+			name: "sorted-output",
+			add:  []Counter{{"z", 1}, {"m", 1}, {"a", 1}},
+			want: []Counter{{"a", 1}, {"m", 1}, {"z", 1}},
+		},
+		{
+			name: "negative-deltas",
+			add:  []Counter{{"n", 5}, {"n", -2}},
+			want: []Counter{{"n", 3}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New()
+			for _, a := range tc.add {
+				c.Count(a.Name, a.Value)
+			}
+			got := c.Counters()
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("counter %d: got %v, want %v", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+
+	t.Run("concurrent", func(t *testing.T) {
+		c := New()
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 1000; i++ {
+					c.Count("shared", 1)
+				}
+			}()
+		}
+		wg.Wait()
+		if got := c.Counters(); len(got) != 1 || got[0].Value != 8000 {
+			t.Errorf("got %v, want [{shared 8000}]", got)
+		}
+	})
+}
+
+// TestNilCtx checks the no-op contract: every operation on a nil context
+// (and the nil spans it hands out) must be safe.
+func TestNilCtx(t *testing.T) {
+	var c *Ctx
+	if c.Enabled() {
+		t.Error("nil ctx reports enabled")
+	}
+	cc, sp := c.Start("x", String("k", "v"))
+	if cc != nil || sp != nil {
+		t.Fatal("nil ctx Start must return nils")
+	}
+	sp.SetAttr(Int("n", 1))
+	sp.End()
+	c.Count("n", 1)
+	if got := c.Counters(); got != nil {
+		t.Errorf("nil ctx counters = %v, want nil", got)
+	}
+}
+
+// BenchmarkDisabled measures the disabled-observability overhead the
+// pipeline pays on every instrumented call site.
+func BenchmarkDisabled(b *testing.B) {
+	var c *Ctx
+	for i := 0; i < b.N; i++ {
+		cc, sp := c.Start("x")
+		cc.Count("n", 1)
+		sp.End()
+	}
+}
+
+// TestTraceRoundTrip exports a trace and parses it back.
+func TestTraceRoundTrip(t *testing.T) {
+	ts := &TraceSink{}
+	c := newCtx(fixedClock(time.Millisecond), ts)
+	cc, outer := c.Start("outer", String("tool", "cache"))
+	_, inner := cc.Start("inner", Int("sites", 42))
+	inner.End()
+	outer.End()
+
+	data, err := ts.MarshalTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ParseTrace(data)
+	if err != nil {
+		t.Fatalf("ParseTrace: %v\n%s", err, data)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Name != "outer" || evs[1].Name != "inner" {
+		t.Errorf("event order %q, %q; want outer, inner (start order)", evs[0].Name, evs[1].Name)
+	}
+	if evs[0].Args["tool"] != "cache" || evs[1].Args["sites"] != "42" {
+		t.Errorf("args not preserved: %v %v", evs[0].Args, evs[1].Args)
+	}
+	if _, err := ParseTrace([]byte("not json")); err == nil {
+		t.Error("ParseTrace accepted garbage")
+	}
+	if _, err := ParseTrace([]byte(`{"traceEvents":[{"ph":"X"}]}`)); err == nil {
+		t.Error("ParseTrace accepted a nameless event")
+	}
+}
+
+// TestDeterministicEmission replays identical span and counter streams
+// into fresh sinks and requires byte-identical rendered output — the
+// property that makes metric files diffable across runs.
+func TestDeterministicEmission(t *testing.T) {
+	emit := func() (trace, metrics, counters []byte) {
+		ts := &TraceSink{}
+		ms := &MetricsSink{}
+		c := newCtx(fixedClock(time.Millisecond), ts, ms)
+		// Span names deliberately out of sorted order.
+		for _, name := range []string{"zeta", "alpha", "mid", "alpha"} {
+			_, sp := c.Start(name, String("k", name))
+			sp.End()
+		}
+		c.Count("z.last", 3)
+		c.Count("a.first", 1)
+		c.Count("a.first", 1)
+		tr, err := ts.MarshalTrace()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mbuf bytes.Buffer
+		if err := WriteMetrics(&mbuf, ms, c.Counters()); err != nil {
+			t.Fatal(err)
+		}
+		return tr, mbuf.Bytes(), []byte(FormatCounters(c.Counters()))
+	}
+	t1, m1, c1 := emit()
+	t2, m2, c2 := emit()
+	if !bytes.Equal(t1, t2) {
+		t.Errorf("trace output differs between identical runs:\n%s\n--\n%s", t1, t2)
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Errorf("metrics output differs between identical runs:\n%s\n--\n%s", m1, m2)
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Errorf("counter output differs between identical runs:\n%s\n--\n%s", c1, c2)
+	}
+	// Counters must render in sorted order regardless of insertion order.
+	want := "# counters: name value\n" +
+		fmt.Sprintf("%-32s %12d\n", "a.first", 2) +
+		fmt.Sprintf("%-32s %12d\n", "z.last", 3)
+	if string(c1) != want {
+		t.Errorf("counter rendering:\n%q\nwant:\n%q", c1, want)
+	}
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// TraceSink records every completed span and exports them in the Chrome
+// trace_event format (chrome://tracing, Perfetto, speedscope). Complete
+// events ("ph":"X") are used: one per span, with microsecond timestamps
+// relative to the Ctx epoch. The Track of each span selects the tid, so
+// concurrent top-level spans (the suite fan-out's per-program applies)
+// render on separate rows while nested spans stack by time containment.
+type TraceSink struct {
+	mu    sync.Mutex
+	spans []SpanData
+}
+
+// SpanEnd records the span.
+func (t *TraceSink) SpanEnd(sd SpanData) {
+	t.mu.Lock()
+	t.spans = append(t.spans, sd)
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans, sorted by start time (ties
+// broken by ID, which reflects Start order).
+func (t *TraceSink) Spans() []SpanData {
+	t.mu.Lock()
+	out := append([]SpanData(nil), t.spans...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// TraceEvent is one Chrome trace_event record, as marshalled by WriteTo
+// and unmarshalled by ParseTrace.
+type TraceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  uint64            `json:"tid"`
+	Ts   float64           `json:"ts"`  // microseconds since the epoch
+	Dur  float64           `json:"dur"` // microseconds
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// traceDoc is the JSON-object trace container both Chrome and Perfetto
+// accept.
+type traceDoc struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// Events renders the recorded spans as trace events, in start order.
+func (t *TraceSink) Events() []TraceEvent {
+	spans := t.Spans()
+	evs := make([]TraceEvent, 0, len(spans))
+	for _, sd := range spans {
+		ev := TraceEvent{
+			Name: sd.Name,
+			Cat:  "atom",
+			Ph:   "X",
+			Pid:  1,
+			Tid:  sd.Track,
+			Ts:   float64(sd.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(sd.Dur.Nanoseconds()) / 1e3,
+		}
+		if len(sd.Attrs) > 0 {
+			ev.Args = make(map[string]string, len(sd.Attrs))
+			for _, a := range sd.Attrs {
+				ev.Args[a.Key] = a.Val
+			}
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+// MarshalTrace renders the recorded spans as a Chrome trace-event JSON
+// document. Events are ordered by start time and map keys are emitted
+// sorted (encoding/json), so the bytes are a deterministic function of
+// the recorded data.
+func (t *TraceSink) MarshalTrace() ([]byte, error) {
+	doc := traceDoc{TraceEvents: t.Events(), DisplayTimeUnit: "ms"}
+	data, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile writes the trace document to path.
+func (t *TraceSink) WriteFile(path string) error {
+	data, err := t.MarshalTrace()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ParseTrace parses a Chrome trace-event JSON document (the object form
+// WriteFile emits, or a bare event array) and validates its shape: every
+// event must carry a name and a phase, with non-negative timestamps.
+func ParseTrace(data []byte) ([]TraceEvent, error) {
+	var doc traceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		// Chrome also accepts a bare JSON array of events.
+		var evs []TraceEvent
+		if err2 := json.Unmarshal(data, &evs); err2 != nil {
+			return nil, fmt.Errorf("obs: not a trace-event document: %w", err)
+		}
+		doc.TraceEvents = evs
+	}
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" {
+			return nil, fmt.Errorf("obs: trace event %d has no name", i)
+		}
+		if ev.Ph == "" {
+			return nil, fmt.Errorf("obs: trace event %d (%s) has no phase", i, ev.Name)
+		}
+		if ev.Ts < 0 || ev.Dur < 0 {
+			return nil, fmt.Errorf("obs: trace event %d (%s) has negative time", i, ev.Name)
+		}
+	}
+	return doc.TraceEvents, nil
+}

@@ -8,6 +8,7 @@ import (
 	"atom/internal/alpha"
 	"atom/internal/aout"
 	"atom/internal/link"
+	"atom/internal/obs"
 )
 
 // Layout is the address assignment for an instrumented program: every
@@ -25,7 +26,13 @@ type Layout struct {
 
 // Layout assigns new addresses. Original instruction order is preserved;
 // each instruction becomes [before-code][instruction][after-code].
-func (p *Program) Layout() *Layout {
+func (p *Program) Layout() *Layout { return p.LayoutCtx(nil) }
+
+// LayoutCtx is Layout with a stage context: address assignment runs under
+// an "om.layout" span annotated with the instrumented text size.
+func (p *Program) LayoutCtx(ctx *obs.Ctx) *Layout {
+	_, sp := ctx.Start("om.layout")
+	defer sp.End()
 	l := &Layout{
 		prog:     p,
 		oldToNew: make(map[uint64]uint64, len(p.instAt)),
@@ -53,6 +60,7 @@ func (p *Program) Layout() *Layout {
 		}
 	}
 	l.size = addr - p.Exe.TextAddr
+	sp.SetAttr(obs.Int("text_bytes", int64(l.size)))
 	return l
 }
 
@@ -102,6 +110,14 @@ type Result struct {
 // Finish emits the instrumented text. resolve maps external symbol names
 // (analysis procedures and data) to absolute addresses.
 func (l *Layout) Finish(resolve func(string) (uint64, bool)) (*Result, error) {
+	return l.FinishCtx(nil, resolve)
+}
+
+// FinishCtx is Finish with a stage context: re-emission and reference
+// patching run under an "om.finish" span.
+func (l *Layout) FinishCtx(ctx *obs.Ctx, resolve func(string) (uint64, bool)) (*Result, error) {
+	_, sp := ctx.Start("om.finish")
+	defer sp.End()
 	p := l.prog
 	exe := p.Exe
 	text := make([]byte, l.size)

@@ -38,6 +38,7 @@ import (
 
 	"atom/internal/alpha"
 	"atom/internal/aout"
+	"atom/internal/obs"
 )
 
 // Program is the symbolic IR of one executable.
@@ -135,7 +136,25 @@ func (p *Program) InstAt(addr uint64) *Inst { return p.instAt[addr] }
 // Build constructs the IR from a linked executable. The executable must
 // retain function symbols covering all of text (the .ent/.end discipline)
 // and its relocation records.
-func Build(exe *aout.File) (*Program, error) {
+func Build(exe *aout.File) (*Program, error) { return BuildCtx(nil, exe) }
+
+// BuildCtx is Build with a stage context: IR construction runs under an
+// "om.build" span annotated with the recovered procedure and instruction
+// counts.
+func BuildCtx(ctx *obs.Ctx, exe *aout.File) (*Program, error) {
+	_, sp := ctx.Start("om.build")
+	defer sp.End()
+	prog, err := buildIR(exe)
+	if err != nil {
+		return nil, err
+	}
+	sp.SetAttr(
+		obs.Int("procs", int64(len(prog.Procs))),
+		obs.Int("insts", int64(prog.NumInsts())))
+	return prog, nil
+}
+
+func buildIR(exe *aout.File) (*Program, error) {
 	if !exe.Linked {
 		return nil, fmt.Errorf("om: input is not a linked executable")
 	}

@@ -2,6 +2,7 @@ package om
 
 import (
 	"atom/internal/alpha"
+	"atom/internal/obs"
 )
 
 // RegSet is a set of integer registers, one bit per register.
@@ -54,7 +55,14 @@ func AllCallerSave() RegSet {
 // Overhead"). The analysis is an interprocedural fixpoint over the call
 // graph; indirect calls (jsr) are assumed to clobber every caller-save
 // register, and CALL_PAL services clobber v0.
-func (p *Program) ModifiedRegs() map[string]RegSet {
+func (p *Program) ModifiedRegs() map[string]RegSet { return p.ModifiedRegsCtx(nil) }
+
+// ModifiedRegsCtx is ModifiedRegs with a stage context: the fixpoint runs
+// under an "om.summary" span annotated with the number of iterations the
+// call-graph propagation took to converge.
+func (p *Program) ModifiedRegsCtx(ctx *obs.Ctx) map[string]RegSet {
+	_, sp := ctx.Start("om.summary", obs.Int("procs", int64(len(p.Procs))))
+	defer sp.End()
 	direct := make([]RegSet, len(p.Procs))
 	calls := make([][]int, len(p.Procs)) // proc index -> callee proc indices
 	anyIndirect := make([]bool, len(p.Procs))
@@ -106,8 +114,10 @@ func (p *Program) ModifiedRegs() map[string]RegSet {
 			mod[i] = all
 		}
 	}
+	rounds := 0
 	for changed := true; changed; {
 		changed = false
+		rounds++
 		for i := range p.Procs {
 			s := mod[i]
 			for _, c := range calls[i] {
@@ -119,6 +129,7 @@ func (p *Program) ModifiedRegs() map[string]RegSet {
 			}
 		}
 	}
+	sp.SetAttr(obs.Int("rounds", int64(rounds)))
 
 	out := make(map[string]RegSet, len(p.Procs))
 	for i, pr := range p.Procs {

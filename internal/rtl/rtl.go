@@ -30,6 +30,7 @@ import (
 	"atom/internal/build"
 	"atom/internal/cc"
 	"atom/internal/link"
+	"atom/internal/obs"
 )
 
 //go:embed src include
@@ -54,11 +55,13 @@ var (
 
 var runtimeKey = build.NewKey("rtl-runtime").Sum()
 
-func parts() (*runtime, error) {
-	return build.Memo(rtCache, runtimeKey, buildRuntime)
+func parts(ctx *obs.Ctx) (*runtime, error) {
+	return build.MemoCtx(ctx, rtCache, "rtl-runtime", runtimeKey, buildRuntime)
 }
 
-func buildRuntime() (*runtime, error) {
+func buildRuntime(ctx *obs.Ctx) (*runtime, error) {
+	_, sp := ctx.Start("rtl.runtime")
+	defer sp.End()
 	if buildFault != nil {
 		if err := buildFault(); err != nil {
 			return nil, err
@@ -95,9 +98,9 @@ func buildRuntime() (*runtime, error) {
 		var obj *aout.File
 		switch {
 		case strings.HasSuffix(name, ".s"):
-			obj, err = asm.Assemble(name, string(data))
+			obj, err = asm.AssembleCtx(ctx, name, string(data))
 		case strings.HasSuffix(name, ".c"):
-			obj, err = cc.Build(name, string(data), rt.headers)
+			obj, err = cc.BuildCtx(ctx, name, string(data), rt.headers)
 		default:
 			continue
 		}
@@ -117,8 +120,11 @@ func buildRuntime() (*runtime, error) {
 
 // Headers returns the standard headers (stdio.h, stdlib.h, string.h) for
 // compiling MiniC programs against this library.
-func Headers() (map[string]string, error) {
-	rt, err := parts()
+func Headers() (map[string]string, error) { return HeadersCtx(nil) }
+
+// HeadersCtx is Headers with a stage context.
+func HeadersCtx(ctx *obs.Ctx) (map[string]string, error) {
+	rt, err := parts(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -127,8 +133,11 @@ func Headers() (map[string]string, error) {
 
 // Lib returns the compiled runtime library. The returned value is shared
 // and must not be mutated; the linker copies member contents.
-func Lib() (*link.Library, error) {
-	rt, err := parts()
+func Lib() (*link.Library, error) { return LibCtx(nil) }
+
+// LibCtx is Lib with a stage context.
+func LibCtx(ctx *obs.Ctx) (*link.Library, error) {
+	rt, err := parts(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -138,8 +147,11 @@ func Lib() (*link.Library, error) {
 // Crt0 returns the startup object defining __start. It must be linked
 // explicitly into executables (nothing references it by name, so archive
 // selection would never pull it in).
-func Crt0() (*aout.File, error) {
-	rt, err := parts()
+func Crt0() (*aout.File, error) { return Crt0Ctx(nil) }
+
+// Crt0Ctx is Crt0 with a stage context.
+func Crt0Ctx(ctx *obs.Ctx) (*aout.File, error) {
+	rt, err := parts(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -152,7 +164,14 @@ func Crt0() (*aout.File, error) {
 // content; the returned objects are shared and must not be mutated
 // (the linker copies what it needs).
 func BuildObjects(srcs map[string]string) ([]*aout.File, error) {
-	hdrs, err := Headers()
+	return BuildObjectsCtx(nil, srcs)
+}
+
+// BuildObjectsCtx is BuildObjects with a stage context: the compile loop
+// runs under an "rtl.objects" span, and the cache lookup that guards it
+// is recorded with hit/miss attribution.
+func BuildObjectsCtx(ctx *obs.Ctx, srcs map[string]string) ([]*aout.File, error) {
+	hdrs, err := HeadersCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -166,15 +185,17 @@ func BuildObjects(srcs map[string]string) ([]*aout.File, error) {
 	for _, n := range names {
 		kb.String(n).String(srcs[n])
 	}
-	objs, err := build.Memo(objCache, kb.Sum(), func() ([]*aout.File, error) {
+	objs, err := build.MemoCtx(ctx, objCache, "objects", kb.Sum(), func(bctx *obs.Ctx) ([]*aout.File, error) {
+		octx, sp := bctx.Start("rtl.objects", obs.Int("sources", int64(len(names))))
+		defer sp.End()
 		var objs []*aout.File
 		for _, n := range names {
 			var obj *aout.File
 			var err error
 			if strings.HasSuffix(n, ".s") {
-				obj, err = asm.Assemble(n, srcs[n])
+				obj, err = asm.AssembleCtx(octx, n, srcs[n])
 			} else {
-				obj, err = cc.Build(n, srcs[n], hdrs)
+				obj, err = cc.BuildCtx(octx, n, srcs[n], hdrs)
 			}
 			if err != nil {
 				return nil, err
@@ -204,20 +225,30 @@ func BuildProgram(name, src string) (*aout.File, error) {
 	return BuildProgramMulti(map[string]string{name: src})
 }
 
+// BuildProgramCtx is BuildProgram with a stage context.
+func BuildProgramCtx(ctx *obs.Ctx, name, src string) (*aout.File, error) {
+	return BuildProgramMultiCtx(ctx, map[string]string{name: src})
+}
+
 // BuildProgramMulti compiles several MiniC source files and links them
 // together with crt0 and the runtime library.
 func BuildProgramMulti(srcs map[string]string) (*aout.File, error) {
-	objs, err := BuildObjects(srcs)
+	return BuildProgramMultiCtx(nil, srcs)
+}
+
+// BuildProgramMultiCtx is BuildProgramMulti with a stage context.
+func BuildProgramMultiCtx(ctx *obs.Ctx, srcs map[string]string) (*aout.File, error) {
+	objs, err := BuildObjectsCtx(ctx, srcs)
 	if err != nil {
 		return nil, err
 	}
-	c0, err := Crt0()
+	c0, err := Crt0Ctx(ctx)
 	if err != nil {
 		return nil, err
 	}
-	l, err := Lib()
+	l, err := LibCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return link.Link(link.Config{}, append([]*aout.File{c0}, objs...), l)
+	return link.LinkCtx(ctx, link.Config{}, append([]*aout.File{c0}, objs...), l)
 }

@@ -21,6 +21,7 @@ import (
 
 	"atom/internal/aout"
 	"atom/internal/build"
+	"atom/internal/obs"
 	"atom/internal/rtl"
 )
 
@@ -52,14 +53,21 @@ var buildCache = build.NewCache()
 // program's source content. Concurrent callers of the same program share
 // one build (and distinct programs build in parallel — no global lock).
 // The returned file must not be mutated.
-func Build(name string) (*aout.File, error) {
+func Build(name string) (*aout.File, error) { return BuildCtx(nil, name) }
+
+// BuildCtx is Build with a stage context: the whole compile-and-link runs
+// under a "spec.build" span, and the memoized lookup records hit/miss
+// attribution.
+func BuildCtx(ctx *obs.Ctx, name string) (*aout.File, error) {
 	p, ok := ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("spec: unknown program %q", name)
 	}
 	key := build.NewKey("spec-program").String(p.Name).String(p.Src).Sum()
-	exe, err := build.Memo(buildCache, key, func() (*aout.File, error) {
-		return rtl.BuildProgram(p.Name+".c", p.Src)
+	exe, err := build.MemoCtx(ctx, buildCache, "spec-program", key, func(bctx *obs.Ctx) (*aout.File, error) {
+		sctx, sp := bctx.Start("spec.build", obs.String("program", p.Name))
+		defer sp.End()
+		return rtl.BuildProgramCtx(sctx, p.Name+".c", p.Src)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("spec: %s: %w", name, err)

@@ -9,6 +9,7 @@ import (
 // pal dispatches a CALL_PAL service. It returns done=true when the
 // machine halted (PC must not advance further).
 func (m *Machine) pal(fn uint32) (done bool, err error) {
+	m.Syscalls++
 	a0 := m.Reg[alpha.A0]
 	a1 := m.Reg[alpha.A1]
 	a2 := m.Reg[alpha.A2]

@@ -25,6 +25,7 @@ import (
 
 	"atom/internal/alpha"
 	"atom/internal/aout"
+	"atom/internal/obs"
 )
 
 // Config parameterizes a machine.
@@ -51,6 +52,10 @@ type Config struct {
 	// Trace, when non-nil, receives one disassembled line per retired
 	// instruction — for debugging tools and inserted code. Slow.
 	Trace io.Writer
+	// Obs, when non-nil, records each Run under a "vm.run" span and
+	// flushes the machine's dynamic statistics (instructions, loads,
+	// stores, unaligned accesses, CALL_PAL services) as counters.
+	Obs *obs.Ctx
 }
 
 // Machine is one running instance.
@@ -64,6 +69,7 @@ type Machine struct {
 	Loads     uint64
 	Stores    uint64
 	Unaligned uint64 // memory accesses not naturally aligned (kernel-fixup equivalent)
+	Syscalls  uint64 // CALL_PAL services dispatched
 
 	// Stdout and Stderr accumulate writes to fds 1 and 2.
 	Stdout []byte
@@ -170,6 +176,21 @@ func (m *Machine) Exited() (bool, int) { return m.halted, m.exitCode }
 // Run executes until the program halts, fuel is exhausted, or a fault
 // occurs. It returns the exit status.
 func (m *Machine) Run() (int, error) {
+	if m.cfg.Obs.Enabled() {
+		_, sp := m.cfg.Obs.Start("vm.run")
+		// Counters are flushed as deltas so repeated Run/Step mixes and
+		// multiple machines sharing one context aggregate correctly.
+		i0, l0, s0, u0, p0 := m.Icount, m.Loads, m.Stores, m.Unaligned, m.Syscalls
+		defer func() {
+			m.cfg.Obs.Count("vm.icount", int64(m.Icount-i0))
+			m.cfg.Obs.Count("vm.loads", int64(m.Loads-l0))
+			m.cfg.Obs.Count("vm.stores", int64(m.Stores-s0))
+			m.cfg.Obs.Count("vm.unaligned", int64(m.Unaligned-u0))
+			m.cfg.Obs.Count("vm.syscalls", int64(m.Syscalls-p0))
+			sp.SetAttr(obs.Int("icount", int64(m.Icount-i0)))
+			sp.End()
+		}()
+	}
 	for !m.halted {
 		if m.Icount >= m.cfg.MaxInstr {
 			return 0, fmt.Errorf("vm: instruction budget %d exhausted at pc %#x", m.cfg.MaxInstr, m.PC)

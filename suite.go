@@ -2,9 +2,6 @@ package atom
 
 import (
 	"errors"
-	"fmt"
-	"runtime"
-	"sync"
 
 	"atom/internal/core"
 )
@@ -24,34 +21,6 @@ import (
 // (tagged with the application's index); the rest are still
 // instrumented.
 func InstrumentSuite(apps []*Executable, tool Tool, opts Options, workers int) ([]*Result, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(apps) {
-		workers = len(apps)
-	}
-	results := make([]*Result, len(apps))
-	errs := make([]error, len(apps))
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				res, err := core.Instrument(apps[i], tool, opts)
-				if err != nil {
-					errs[i] = fmt.Errorf("app %d: %w", i, err)
-					continue
-				}
-				results[i] = res
-			}
-		}()
-	}
-	for i := range apps {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
+	results, errs := core.InstrumentMany(nil, apps, tool, opts, workers)
 	return results, errors.Join(errs...)
 }
