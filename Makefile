@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race benchsmoke tracesmoke bench ci
+.PHONY: all build fmt vet test race benchsmoke tracesmoke profsmoke bench ci
 
 all: build
 
@@ -37,8 +37,20 @@ tracesmoke:
 	$(GO) run ./cmd/atom -t branch -trace $$tmp/smoke.trace.json -o $$tmp/smoke.atom $$tmp/smoke.x; \
 	$(GO) run ./cmd/atom -verify-trace $$tmp/smoke.trace.json
 
+# Instrument and run a program with the sampling profiler, twice;
+# folded output must validate and be byte-identical across runs.
+profsmoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	printf '#include <stdio.h>\nint main() { printf("ok\\n"); return 0; }\n' > $$tmp/smoke.c; \
+	$(GO) run ./cmd/minicc -o $$tmp/smoke.o $$tmp/smoke.c; \
+	$(GO) run ./cmd/alink -o $$tmp/smoke.x $$tmp/smoke.o; \
+	$(GO) run ./cmd/atom -t branch -run -profile $$tmp/p1.folded -profile-format=folded -profile-period 500 $$tmp/smoke.x > /dev/null; \
+	$(GO) run ./cmd/atom -t branch -run -profile $$tmp/p2.folded -profile-format=folded -profile-period 500 $$tmp/smoke.x > /dev/null; \
+	$(GO) run ./cmd/atom -verify-folded $$tmp/p1.folded; \
+	cmp $$tmp/p1.folded $$tmp/p2.folded
+
 # Real measurements (slow); see EXPERIMENTS.md for recorded numbers.
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-ci: fmt vet build race benchsmoke tracesmoke
+ci: fmt vet build race benchsmoke tracesmoke profsmoke

@@ -29,3 +29,13 @@ go run ./cmd/minicc -o "$tmp/smoke.o" "$tmp/smoke.c"
 go run ./cmd/alink -o "$tmp/smoke.x" "$tmp/smoke.o"
 go run ./cmd/atom -t branch -trace "$tmp/smoke.trace.json" -o "$tmp/smoke.atom" "$tmp/smoke.x"
 go run ./cmd/atom -verify-trace "$tmp/smoke.trace.json"
+
+# Profile smoke: instrument and run the program with the sampling
+# profiler attached, twice; the folded-stack profiles must be
+# syntactically valid and byte-identical (deterministic sampling).
+go run ./cmd/atom -t branch -run -profile "$tmp/p1.folded" -profile-format=folded -profile-period 500 "$tmp/smoke.x" > /dev/null
+go run ./cmd/atom -t branch -run -profile "$tmp/p2.folded" -profile-format=folded -profile-period 500 "$tmp/smoke.x" > /dev/null
+go run ./cmd/atom -verify-folded "$tmp/p1.folded"
+cmp "$tmp/p1.folded" "$tmp/p2.folded"
+go run ./cmd/atom -t branch -run -profile "$tmp/p.flat" -profile-period 500 "$tmp/smoke.x" > /dev/null
+grep -q '# atom prof: period=500' "$tmp/p.flat"

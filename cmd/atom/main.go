@@ -2,7 +2,7 @@
 // linked applications with one of the built-in analysis tools,
 //
 //	atom prog.x -t branch -o prog.atom
-//	atom -t cache -j 4 prog1.x prog2.x prog3.x
+//	atom -t cache -j 4 -progress prog1.x prog2.x prog3.x
 //
 // standing in for `atom prog inst.c anal.c -o prog.atom` (instrumentation
 // routines are Go code, so the built-in tools are selected by name; use
@@ -13,10 +13,19 @@
 // abort the batch: the rest are still instrumented, each failure is
 // reported, and the exit status is non-zero iff any program failed.
 //
+// Run mode executes a program on the Alpha-subset VM, with an optional
+// deterministic sampling profiler whose reports are in the application's
+// ORIGINAL terms (PCs translated back through the static new->original
+// map; samples in injected analysis code attributed to "[analysis]"):
+//
+//	atom -run prog.x arg1 arg2              # plain execution
+//	atom -t prof -run -profile p.txt prog.x # instrument, run, profile
+//	atom -run -profile p.folded -profile-format=folded prog.x
+//
 // The pipeline is observable end to end:
 //
 //	atom -t cache -trace t.json prog.x   # Chrome trace (chrome://tracing)
-//	atom -t cache -metrics prog.x        # span/counter snapshot on stderr
+//	atom -t cache -metrics prog.x        # span/counter/histogram snapshot
 //	atom -t cache -cpuprofile cpu.pprof prog.x
 //	atom -t cache -bench-json run.json prog.x  # per-phase JSON breakdown
 //	atom -verify-trace t.json            # validate a trace file (CI smoke)
@@ -35,38 +44,47 @@ import (
 	"os"
 	"runtime/pprof"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"atom/internal/aout"
 	"atom/internal/core"
 	"atom/internal/figures"
 	"atom/internal/obs"
+	"atom/internal/prof"
 	"atom/internal/rtl"
 	"atom/internal/tools"
+	"atom/internal/vm"
 )
 
 func main() { os.Exit(run()) }
 
-func run() int {
+func run() (code int) {
 	var (
-		toolName    = flag.String("t", "", "analysis tool to apply (see -list)")
-		outPath     = flag.String("o", "", "output executable (single input only; default: input with .atom extension, or a.atom)")
-		toolArgs    = flag.String("args", "", "comma-separated tool arguments (iargv)")
-		mode        = flag.String("mode", "wrapper", "register-save mode: wrapper | inanalysis")
-		heapOff     = flag.Uint64("heap", 0, "partition the heap: analysis zone offset in bytes (0 = linked sbrks)")
-		noSummary   = flag.Bool("nosummary", false, "disable the data-flow register summary (save all caller-save registers)")
-		jobs        = flag.Int("j", 1, "instrument up to N input programs in parallel (0 = GOMAXPROCS)")
-		list        = flag.Bool("list", false, "list the built-in tools")
-		table       = flag.String("table", "", "regenerate a paper table: fig5 | fig6")
-		progs       = flag.String("progs", "", "comma-separated suite subset for -table (default: all 20)")
-		benchJSON   = flag.String("bench-json", "", "write measurements as JSON: -table rows, or an instrument-mode per-phase breakdown")
-		stats       = flag.Bool("stats", false, "print instrumentation and cache statistics")
-		layout      = flag.Bool("layout", false, "print the instrumented executable's memory layout (Figure 4)")
-		verbose     = flag.Bool("v", false, "progress output for -table")
-		tracePath   = flag.String("trace", "", "write a Chrome trace_event JSON of the pipeline to this file")
-		metrics     = flag.Bool("metrics", false, "print a span/counter metrics snapshot to stderr")
-		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		verifyTrace = flag.String("verify-trace", "", "validate a trace file written by -trace and exit (CI smoke)")
+		toolName      = flag.String("t", "", "analysis tool to apply (see -list)")
+		outPath       = flag.String("o", "", "output executable (single input only; default: input with .atom extension, or a.atom)")
+		toolArgs      = flag.String("args", "", "comma-separated tool arguments (iargv)")
+		mode          = flag.String("mode", "wrapper", "register-save mode: wrapper | inanalysis")
+		heapOff       = flag.Uint64("heap", 0, "partition the heap: analysis zone offset in bytes (0 = linked sbrks)")
+		noSummary     = flag.Bool("nosummary", false, "disable the data-flow register summary (save all caller-save registers)")
+		jobs          = flag.Int("j", 1, "instrument up to N input programs in parallel (0 = GOMAXPROCS)")
+		list          = flag.Bool("list", false, "list the built-in tools")
+		table         = flag.String("table", "", "regenerate a paper table: fig5 | fig6")
+		progs         = flag.String("progs", "", "comma-separated suite subset for -table (default: all 20)")
+		benchJSON     = flag.String("bench-json", "", "write measurements as JSON: -table rows, or a per-phase run breakdown")
+		stats         = flag.Bool("stats", false, "print instrumentation and cache statistics")
+		layout        = flag.Bool("layout", false, "print the instrumented executable's memory layout (Figure 4)")
+		verbose       = flag.Bool("v", false, "progress output for -table")
+		progress      = flag.Bool("progress", false, "live status line on stderr for multi-program instrument batches")
+		tracePath     = flag.String("trace", "", "write a Chrome trace_event JSON of the pipeline to this file")
+		metrics       = flag.Bool("metrics", false, "print a span/counter/histogram metrics snapshot to stderr")
+		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile of atom itself to this file")
+		verifyTrace   = flag.String("verify-trace", "", "validate a trace file written by -trace and exit (CI smoke)")
+		verifyFolded  = flag.String("verify-folded", "", "validate a folded-stack profile written by -profile-format=folded and exit (CI smoke)")
+		runMode       = flag.Bool("run", false, "execute the (instrumented) program on the VM; extra arguments become its argv")
+		profilePath   = flag.String("profile", "", "sample the VM run and write the profile to this file (implies -run)")
+		profilePeriod = flag.Uint64("profile-period", 10000, "sampling period in retired instructions")
+		profileFormat = flag.String("profile-format", "flat", "profile report format: flat | folded")
 	)
 	flag.Parse()
 
@@ -83,25 +101,42 @@ func run() int {
 		}
 		fmt.Printf("%s: ok\n", *verifyTrace)
 		return 0
-	case *table != "" || (*benchJSON != "" && *toolName == ""):
+	case *verifyFolded != "":
+		data, err := os.ReadFile(*verifyFolded)
+		if err != nil {
+			return fail(err)
+		}
+		n, err := prof.ValidateFolded(data)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("%s: ok (%d stacks)\n", *verifyFolded, n)
+		return 0
+	case *table != "" || (*benchJSON != "" && *toolName == "" && !*runMode && *profilePath == ""):
 		which := *table
 		if which == "" {
 			which = "fig5"
 		}
 		return runTable(which, *progs, *benchJSON, *verbose)
 	}
+	doRun := *runMode || *profilePath != ""
 
-	if flag.NArg() < 1 || *toolName == "" {
+	if flag.NArg() < 1 || (*toolName == "" && !doRun) {
 		fmt.Fprintln(os.Stderr, "usage: atom prog.x [prog2.x ...] -t tool [-o prog.atom] [-j N] [-mode wrapper|inanalysis] [-heap N]")
+		fmt.Fprintln(os.Stderr, "       atom [-t tool] -run [-profile file [-profile-period N] [-profile-format flat|folded]] prog.x [args...]")
 		fmt.Fprintln(os.Stderr, "       atom -list | -table fig5|fig6 [-bench-json file] | -verify-trace file")
 		return 2
 	}
-	if flag.NArg() > 1 && *outPath != "" {
+	if flag.NArg() > 1 && *outPath != "" && !doRun {
 		return fail(fmt.Errorf("-o is only valid with a single input program (outputs are named <input>.atom)"))
 	}
-	tool, ok := tools.ByName(*toolName)
-	if !ok {
-		return fail(fmt.Errorf("unknown tool %q; try -list", *toolName))
+	var tool core.Tool
+	if *toolName != "" {
+		var ok bool
+		tool, ok = tools.ByName(*toolName)
+		if !ok {
+			return fail(fmt.Errorf("unknown tool %q; try -list", *toolName))
+		}
 	}
 	opts := core.Options{HeapOffset: *heapOff, NoRegSummary: *noSummary}
 	switch *mode {
@@ -114,6 +149,11 @@ func run() int {
 	}
 	if *toolArgs != "" {
 		opts.ToolArgs = strings.Split(*toolArgs, ",")
+	}
+	switch *profileFormat {
+	case "flat", "folded":
+	default:
+		return fail(fmt.Errorf("bad -profile-format %q (flat or folded)", *profileFormat))
 	}
 
 	if *cpuProfile != "" {
@@ -151,6 +191,40 @@ func run() int {
 		ctx = obs.New(sinks...)
 	}
 
+	// Fail-soft flush: from here on, no matter how the batch or the run
+	// ends — a program erroring mid-run included — the trace file is
+	// written and the metrics snapshot printed. A flush failure makes the
+	// exit status non-zero without masking the primary outcome.
+	defer func() {
+		if *tracePath != "" {
+			if err := traceSink.WriteFile(*tracePath); err != nil {
+				fmt.Fprintln(os.Stderr, "atom:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}
+		if *metrics {
+			obs.WriteMetrics(os.Stderr, metricsSink, ctx.Counters(), ctx.Histograms())
+		}
+	}()
+
+	if doRun {
+		return runUnderVM(ctx, metricsSink, runConfig{
+			input:         flag.Arg(0),
+			progArgs:      flag.Args()[1:],
+			tool:          tool,
+			haveTool:      *toolName != "",
+			opts:          opts,
+			outPath:       *outPath,
+			benchJSON:     *benchJSON,
+			profilePath:   *profilePath,
+			profilePeriod: *profilePeriod,
+			profileFormat: *profileFormat,
+			stats:         *stats,
+		})
+	}
+
 	// Read every input before instrumenting any; per-program read errors
 	// fail soft like instrumentation errors do.
 	inputs := flag.Args()
@@ -177,7 +251,16 @@ func run() int {
 	}
 	results := make([]*core.Result, len(inputs))
 	if len(good) > 0 {
-		res, rerrs := core.InstrumentMany(ctx, good, tool, opts, *jobs)
+		var onDone func(int, error)
+		if *progress && len(inputs) > 1 {
+			var done atomic.Int64
+			total := len(good)
+			onDone = func(int, error) {
+				fmt.Fprintf(os.Stderr, "\ratom: instrumented %d/%d", done.Add(1), total)
+			}
+			defer fmt.Fprintln(os.Stderr)
+		}
+		res, rerrs := core.InstrumentManyProgress(ctx, good, tool, opts, *jobs, onDone)
 		for k, i := range goodIdx {
 			results[i] = res[k]
 			if rerrs[k] != nil {
@@ -232,14 +315,6 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "atom: %d of %d programs failed\n", failed, len(inputs))
 	}
 
-	if *tracePath != "" {
-		if err := traceSink.WriteFile(*tracePath); err != nil {
-			return fail(err)
-		}
-	}
-	if *metrics {
-		obs.WriteMetrics(os.Stderr, metricsSink, ctx.Counters())
-	}
 	if *benchJSON != "" {
 		doc := figures.RunDoc{
 			Tool:     tool.Name,
@@ -261,6 +336,7 @@ func run() int {
 		for _, c := range ctx.Counters() {
 			doc.Counters = append(doc.Counters, figures.BenchCounter{Name: c.Name, Value: c.Value})
 		}
+		doc.Hists = figures.Histograms(ctx.Histograms())
 		if err := figures.WriteRunJSON(*benchJSON, doc); err != nil {
 			return fail(err)
 		}
@@ -269,6 +345,150 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// runConfig carries the run-mode parameters.
+type runConfig struct {
+	input         string
+	progArgs      []string
+	tool          core.Tool
+	haveTool      bool
+	opts          core.Options
+	outPath       string
+	benchJSON     string
+	profilePath   string
+	profilePeriod uint64
+	profileFormat string
+	stats         bool
+}
+
+// runUnderVM executes one program on the VM — instrumenting it first
+// when a tool was selected — with the sampling profiler attached when
+// requested. The profile (and the bench JSON document) is written even
+// when the program faults mid-run, so a crashing workload still yields
+// its observability artifacts.
+func runUnderVM(ctx *obs.Ctx, metricsSink *obs.MetricsSink, rc runConfig) int {
+	app, err := aout.ReadFile(rc.input)
+	if err != nil {
+		return fail(err)
+	}
+
+	exe := app
+	cfg := vm.Config{
+		Arg0: rc.input,
+		Args: rc.progArgs,
+		FS:   map[string][]byte{},
+		Obs:  ctx,
+	}
+	var pcMap func(uint64) (uint64, bool)
+	procs := prof.ProcsFromSymbols(app.Symbols)
+	if rc.haveTool {
+		res, err := core.InstrumentCtx(ctx, app, rc.tool, rc.opts)
+		if err != nil {
+			return fail(fmt.Errorf("%s: %s: %w", rc.input, rc.tool.Name, err))
+		}
+		exe = res.Exe
+		cfg.AnalysisHeapOffset = res.HeapOffset
+		pcMap = res.PCMap.OldAddr
+		procs = res.PCMap.OrigProcs()
+		if rc.outPath != "" {
+			if err := res.Exe.WriteFile(rc.outPath); err != nil {
+				return fail(err)
+			}
+		}
+	}
+
+	var profiler *prof.Profiler
+	if rc.profilePath != "" {
+		profiler = prof.New(prof.Options{
+			Period: rc.profilePeriod,
+			Procs:  procs,
+			MapPC:  pcMap,
+			Obs:    ctx,
+		})
+		profiler.Attach(&cfg)
+	}
+
+	m, err := vm.New(exe, cfg)
+	if err != nil {
+		return fail(fmt.Errorf("%s: %w", rc.input, err))
+	}
+	exitCode, runErr := m.Run()
+	os.Stdout.Write(m.Stdout)
+	os.Stderr.Write(m.Stderr)
+	for _, path := range m.Paths() {
+		if werr := os.WriteFile(path, m.FSOut[path], 0o644); werr != nil {
+			fmt.Fprintln(os.Stderr, "atom:", werr)
+			if runErr == nil {
+				runErr = werr
+			}
+		}
+	}
+
+	status := exitCode
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "atom: %s: %v\n", rc.input, runErr)
+		status = 1
+	}
+	if rc.stats {
+		fmt.Fprintf(os.Stderr, "icount=%d loads=%d stores=%d unaligned=%d syscalls=%d\n",
+			m.Icount, m.Loads, m.Stores, m.Unaligned, m.Syscalls)
+	}
+
+	// Observability artifacts are flushed regardless of how the run went.
+	if profiler != nil {
+		profiler.Flush()
+		if err := writeProfile(profiler, rc.profilePath, rc.profileFormat); err != nil {
+			fmt.Fprintln(os.Stderr, "atom:", err)
+			if status == 0 {
+				status = 1
+			}
+		}
+	}
+	if rc.benchJSON != "" {
+		doc := figures.RunDoc{
+			Tool:     rc.tool.Name,
+			Programs: []string{rc.input},
+			Phases: figures.BenchPhases{
+				BuildMS: msOf(metricsSink.Total("atom.image.build")),
+				PlanMS:  msOf(metricsSink.Total("atom.plan")),
+				ApplyMS: msOf(metricsSink.Total("atom.apply")),
+			},
+			Image:   figures.CacheStats(core.ImageCacheStats()),
+			Objects: figures.CacheStats(rtl.ObjectCacheStats()),
+		}
+		if runErr != nil {
+			doc.Failed = []string{rc.input}
+		}
+		for _, c := range ctx.Counters() {
+			doc.Counters = append(doc.Counters, figures.BenchCounter{Name: c.Name, Value: c.Value})
+		}
+		doc.Hists = figures.Histograms(ctx.Histograms())
+		if err := figures.WriteRunJSON(rc.benchJSON, doc); err != nil {
+			fmt.Fprintln(os.Stderr, "atom:", err)
+			if status == 0 {
+				status = 1
+			}
+		}
+	}
+	return status
+}
+
+// writeProfile renders the profiler's report in the selected format.
+func writeProfile(p *prof.Profiler, path, format string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if format == "folded" {
+		err = p.WriteFolded(f)
+	} else {
+		err = p.WriteFlat(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func msOf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -40,6 +40,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"atom/internal/aout"
 	"atom/internal/link"
@@ -217,6 +218,12 @@ func planFor(ctx *obs.Ctx, app *aout.File, tool Tool, opts Options) (*Instrument
 func applyPlan(ctx *obs.Ctx, app *aout.File, q *Instrumentation, ti *ToolImage, opts Options) (*Result, error) {
 	actx, sp := ctx.Start("atom.apply", obs.String("tool", ti.tool.Name))
 	defer sp.End()
+	if ctx.Enabled() {
+		// Per-program apply-time distribution: a suite fan-out renders as
+		// a histogram instead of a single smeared total.
+		start := time.Now()
+		defer func() { ctx.Observe("atom.apply_us", time.Since(start).Microseconds()) }()
+	}
 	// Verify every called analysis procedure against the image.
 	seen := map[string]bool{}
 	for _, req := range q.journal {

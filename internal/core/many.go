@@ -23,6 +23,14 @@ import (
 // instrumented. Each worker runs under its own child of ctx, so spans
 // from concurrent applications land on separate trace tracks.
 func InstrumentMany(ctx *obs.Ctx, apps []*aout.File, tool Tool, opts Options, workers int) (results []*Result, errs []error) {
+	return InstrumentManyProgress(ctx, apps, tool, opts, workers, nil)
+}
+
+// InstrumentManyProgress is InstrumentMany with a progress callback:
+// onDone(i, err) is invoked once per application as it finishes, from
+// the worker goroutine that instrumented it, so it must be safe for
+// concurrent use. A nil onDone is allowed.
+func InstrumentManyProgress(ctx *obs.Ctx, apps []*aout.File, tool Tool, opts Options, workers int, onDone func(i int, err error)) (results []*Result, errs []error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -45,9 +53,12 @@ func InstrumentMany(ctx *obs.Ctx, apps []*aout.File, tool Tool, opts Options, wo
 				sp.End()
 				if err != nil {
 					errs[i] = fmt.Errorf("app %d: %w", i, err)
-					continue
+				} else {
+					results[i] = res
 				}
-				results[i] = res
+				if onDone != nil {
+					onDone(i, errs[i])
+				}
 			}
 		}()
 	}

@@ -10,6 +10,8 @@ import (
 
 	"atom/internal/alpha"
 	"atom/internal/core"
+	"atom/internal/om"
+	"atom/internal/prof"
 	"atom/internal/vm"
 )
 
@@ -501,5 +503,95 @@ func TestInstrumentErrors(t *testing.T) {
 				t.Errorf("error %q does not contain %q", err, c.want)
 			}
 		})
+	}
+}
+
+func TestProfilerOriginalPCAttribution(t *testing.T) {
+	// Samples taken while the instrumented program runs must attribute to
+	// ORIGINAL procedures at ORIGINAL PCs — the profiler's extension of
+	// the pristine-behavior contract. Samples inside injected analysis
+	// code are the explicit [analysis] frame, never smeared onto an
+	// application procedure.
+	app := buildApp(t, `
+#include <stdio.h>
+long sink;
+long work(long n) {
+	long i;
+	long s = 0;
+	for (i = 0; i < n; i++) {
+		if (i & 1) s += i;
+		else s -= i;
+	}
+	return s;
+}
+int main() {
+	long i;
+	for (i = 0; i < 40; i++) sink += work(200);
+	printf("sink=%d\n", sink);
+	return 0;
+}
+`)
+	res, err := core.Instrument(app, branchCountTool(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := res.PCMap.OrigProcs()
+	byName := map[string]om.ProcRange{}
+	for _, pr := range procs {
+		byName[pr.Name] = pr
+	}
+
+	// A prime period so samples don't phase-lock with the loop body.
+	p := prof.New(prof.Options{
+		Period:      97,
+		Procs:       procs,
+		MapPC:       res.PCMap.OldAddr,
+		KeepSamples: true,
+	})
+	cfg := vm.Config{AnalysisHeapOffset: res.HeapOffset}
+	p.Attach(&cfg)
+	runExe(t, res.Exe, cfg)
+
+	samples := p.Samples()
+	if len(samples) < 50 {
+		t.Fatalf("only %d samples; need a meaningful population", len(samples))
+	}
+	analysis, unknown := 0, 0
+	for _, s := range samples {
+		switch s.Frame {
+		case prof.AnalysisFrame:
+			analysis++
+			if s.OrigPC != 0 {
+				t.Errorf("analysis sample at new pc %#x carries original pc %#x", s.PC, s.OrigPC)
+			}
+		case prof.UnknownFrame:
+			unknown++
+		default:
+			pr, ok := byName[s.Frame]
+			if !ok {
+				t.Fatalf("sample attributed to %q, not an original procedure", s.Frame)
+			}
+			if s.OrigPC < pr.Start || s.OrigPC >= pr.End {
+				t.Errorf("sample %q: original pc %#x outside [%#x,%#x)", s.Frame, s.OrigPC, pr.Start, pr.End)
+			}
+		}
+	}
+	// The branch tool injects a call per conditional branch, so the
+	// instrumented run must spend visible time in analysis code.
+	if analysis == 0 {
+		t.Error("no [analysis] samples despite per-branch instrumentation")
+	}
+	// Acceptance: at least 95% of samples resolve to a named original
+	// procedure or [analysis].
+	if frac := float64(unknown) / float64(len(samples)); frac > 0.05 {
+		t.Errorf("%.1f%% of %d samples are [unknown]; want <= 5%%", 100*frac, len(samples))
+	}
+	// The original-address ranges must cover the original text and
+	// nothing else: every range inside [TextAddr, TextAddr+len).
+	origEnd := app.TextAddr + uint64(len(app.Text))
+	for _, pr := range procs {
+		if pr.Start < app.TextAddr || pr.End > origEnd || pr.Start >= pr.End {
+			t.Errorf("range %q [%#x,%#x) outside original text [%#x,%#x)", pr.Name, pr.Start, pr.End, app.TextAddr, origEnd)
+		}
 	}
 }

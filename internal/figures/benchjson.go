@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"atom/internal/build"
+	"atom/internal/obs"
 )
 
 // Machine-readable benchmark output, for dashboards and regression
@@ -105,20 +106,55 @@ func WriteBenchJSON(path string, fig5 []Fig5Row, fig6 []Fig6Row) error {
 // writes: one instrument-mode run with its per-phase breakdown and cache
 // statistics.
 type RunDoc struct {
-	Schema   string          `json:"schema"` // "atom-run/v1"
-	Tool     string          `json:"tool"`
-	Programs []string        `json:"programs"`
-	Failed   []string        `json:"failed,omitempty"`
-	Phases   BenchPhases     `json:"phases"`
-	Image    BenchCacheStats `json:"image_cache"`
-	Objects  BenchCacheStats `json:"object_cache"`
-	Counters []BenchCounter  `json:"counters,omitempty"`
+	Schema   string           `json:"schema"` // "atom-run/v1"
+	Tool     string           `json:"tool"`
+	Programs []string         `json:"programs"`
+	Failed   []string         `json:"failed,omitempty"`
+	Phases   BenchPhases      `json:"phases"`
+	Image    BenchCacheStats  `json:"image_cache"`
+	Objects  BenchCacheStats  `json:"object_cache"`
+	Counters []BenchCounter   `json:"counters,omitempty"`
+	Hists    []BenchHistogram `json:"histograms,omitempty"`
 }
 
 // BenchCounter is one named pipeline counter (sorted by name upstream).
 type BenchCounter struct {
 	Name  string `json:"name"`
 	Value int64  `json:"value"`
+}
+
+// BenchHistogram is one named log-bucket distribution — per-program
+// apply time, per-run profiler sample depth — as aggregated by
+// internal/obs. Buckets are fixed powers of two, so identical runs emit
+// identical documents.
+type BenchHistogram struct {
+	Name    string        `json:"name"`
+	Count   uint64        `json:"count"`
+	Sum     int64         `json:"sum"`
+	Min     int64         `json:"min"`
+	Max     int64         `json:"max"`
+	Buckets []BenchBucket `json:"buckets,omitempty"`
+}
+
+// BenchBucket is one non-empty histogram bucket: Count observations in
+// the value range [Lo, Hi).
+type BenchBucket struct {
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// Histograms converts obs histogram snapshots into their JSON form.
+func Histograms(hs []obs.Hist) []BenchHistogram {
+	out := make([]BenchHistogram, 0, len(hs))
+	for _, h := range hs {
+		bh := BenchHistogram{Name: h.Name, Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max}
+		for _, b := range h.Buckets {
+			bh.Buckets = append(bh.Buckets, BenchBucket{Lo: b.Lo, Hi: b.Hi, Count: b.Count})
+		}
+		out = append(out, bh)
+	}
+	return out
 }
 
 // WriteRunJSON writes an instrument-mode run document.

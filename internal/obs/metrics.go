@@ -94,14 +94,36 @@ func FormatCounters(counters []Counter) string {
 	return b.String()
 }
 
-// WriteMetrics renders the full snapshot — span aggregates followed by
-// counters — to w.
-func WriteMetrics(w io.Writer, m *MetricsSink, counters []Counter) error {
+// FormatHistograms renders histogram snapshots as text: one header line
+// per histogram followed by its non-empty buckets. The input is already
+// sorted (Ctx.Histograms guarantees it) and bucket boundaries are fixed,
+// so identical observations produce byte-identical output.
+func FormatHistograms(hists []Hist) string {
+	var b strings.Builder
+	b.WriteString("# histograms: name count sum min max\n")
+	for _, h := range hists {
+		fmt.Fprintf(&b, "%-32s %12d %12d %12d %12d\n", h.Name, h.Count, h.Sum, h.Min, h.Max)
+		for _, bk := range h.Buckets {
+			fmt.Fprintf(&b, "  %-30s %12d\n", fmt.Sprintf("[%d,%d)", bk.Lo, bk.Hi), bk.Count)
+		}
+	}
+	return b.String()
+}
+
+// WriteMetrics renders the full snapshot — span aggregates, counters,
+// then histograms — to w. hists may be nil.
+func WriteMetrics(w io.Writer, m *MetricsSink, counters []Counter, hists []Hist) error {
 	if m != nil {
 		if _, err := m.WriteTo(w); err != nil {
 			return err
 		}
 	}
-	_, err := io.WriteString(w, FormatCounters(counters))
+	if _, err := io.WriteString(w, FormatCounters(counters)); err != nil {
+		return err
+	}
+	if len(hists) == 0 {
+		return nil
+	}
+	_, err := io.WriteString(w, FormatHistograms(hists))
 	return err
 }

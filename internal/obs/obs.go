@@ -17,6 +17,7 @@
 package obs
 
 import (
+	"math/bits"
 	"sort"
 	"strconv"
 	"sync"
@@ -73,6 +74,7 @@ type root struct {
 
 	mu       sync.Mutex
 	counters map[string]int64
+	hists    map[string]*histData
 }
 
 // Ctx is the stage context threaded through the pipeline. It names a
@@ -95,7 +97,12 @@ func New(sinks ...Sink) *Ctx {
 // newCtx builds a context over an explicit clock; tests inject a fixed
 // one to get byte-identical output.
 func newCtx(clock func() time.Duration, sinks ...Sink) *Ctx {
-	return &Ctx{r: &root{clock: clock, sinks: sinks, counters: map[string]int64{}}}
+	return &Ctx{r: &root{
+		clock:    clock,
+		sinks:    sinks,
+		counters: map[string]int64{},
+		hists:    map[string]*histData{},
+	}}
 }
 
 // Enabled reports whether observability is on.
@@ -194,6 +201,99 @@ func (c *Ctx) Counters() []Counter {
 	out := make([]Counter, 0, len(c.r.counters))
 	for n, v := range c.r.counters {
 		out = append(out, Counter{Name: n, Value: v})
+	}
+	c.r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// numHistBuckets is the fixed bucket count of every histogram: bucket 0
+// holds values <= 0 (range [0,1)), bucket b >= 1 holds values in
+// [2^(b-1), 2^b). A positive int64 has at most 63 significant bits, so 64
+// buckets cover the full range.
+const numHistBuckets = 64
+
+// histData is the live (locked) state of one histogram.
+type histData struct {
+	buckets  [numHistBuckets]uint64
+	count    uint64
+	sum      int64
+	min, max int64
+}
+
+// histBucketOf returns the bucket index for a value.
+func histBucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Observe records one value into the named histogram. Histograms have
+// fixed log-scale (power-of-two) buckets, so the aggregate — unlike a
+// quantile sketch — is a deterministic function of the observed values,
+// and identical runs render identical snapshots. Safe on nil and for
+// concurrent use.
+func (c *Ctx) Observe(name string, v int64) {
+	if c == nil {
+		return
+	}
+	c.r.mu.Lock()
+	h := c.r.hists[name]
+	if h == nil {
+		h = &histData{}
+		c.r.hists[name] = h
+	}
+	h.buckets[histBucketOf(v)]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if h.count == 1 || v > h.max {
+		h.max = v
+	}
+	c.r.mu.Unlock()
+}
+
+// HistBucket is one non-empty bucket of a histogram snapshot: Count
+// observations fell in the value range [Lo, Hi).
+type HistBucket struct {
+	Lo, Hi uint64
+	Count  uint64
+}
+
+// Hist is a snapshot of one named histogram.
+type Hist struct {
+	Name     string
+	Count    uint64
+	Sum      int64
+	Min, Max int64 // observed extremes (both zero when Count is 0)
+	Buckets  []HistBucket
+}
+
+// Histograms returns a snapshot of every histogram, sorted by name, with
+// only non-empty buckets listed (in ascending value order). Nil on a nil
+// context.
+func (c *Ctx) Histograms() []Hist {
+	if c == nil {
+		return nil
+	}
+	c.r.mu.Lock()
+	out := make([]Hist, 0, len(c.r.hists))
+	for n, h := range c.r.hists {
+		s := Hist{Name: n, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+		for b, cnt := range h.buckets {
+			if cnt == 0 {
+				continue
+			}
+			lo, hi := uint64(0), uint64(1)
+			if b > 0 {
+				lo, hi = uint64(1)<<(b-1), uint64(1)<<b
+			}
+			s.Buckets = append(s.Buckets, HistBucket{Lo: lo, Hi: hi, Count: cnt})
+		}
+		out = append(out, s)
 	}
 	c.r.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

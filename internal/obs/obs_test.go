@@ -256,12 +256,14 @@ func TestDeterministicEmission(t *testing.T) {
 		c.Count("z.last", 3)
 		c.Count("a.first", 1)
 		c.Count("a.first", 1)
+		c.Observe("h.depth", 3)
+		c.Observe("h.depth", 900)
 		tr, err := ts.MarshalTrace()
 		if err != nil {
 			t.Fatal(err)
 		}
 		var mbuf bytes.Buffer
-		if err := WriteMetrics(&mbuf, ms, c.Counters()); err != nil {
+		if err := WriteMetrics(&mbuf, ms, c.Counters(), c.Histograms()); err != nil {
 			t.Fatal(err)
 		}
 		return tr, mbuf.Bytes(), []byte(FormatCounters(c.Counters()))
@@ -283,5 +285,76 @@ func TestDeterministicEmission(t *testing.T) {
 		fmt.Sprintf("%-32s %12d\n", "z.last", 3)
 	if string(c1) != want {
 		t.Errorf("counter rendering:\n%q\nwant:\n%q", c1, want)
+	}
+}
+
+// TestHistogramBuckets checks the log2 bucketing: each observation lands
+// in the [2^(b-1), 2^b) bucket, non-positive values in [0, 1).
+func TestHistogramBuckets(t *testing.T) {
+	c := New(Nop{})
+	for _, v := range []int64{-5, 0, 1, 2, 3, 4, 7, 8, 1024, 1025} {
+		c.Observe("lat", v)
+	}
+	hists := c.Histograms()
+	if len(hists) != 1 {
+		t.Fatalf("got %d histograms, want 1", len(hists))
+	}
+	h := hists[0]
+	if h.Name != "lat" || h.Count != 10 {
+		t.Fatalf("got %q count=%d, want lat count=10", h.Name, h.Count)
+	}
+	if h.Min != -5 || h.Max != 1025 {
+		t.Errorf("min/max = %d/%d, want -5/1025", h.Min, h.Max)
+	}
+	if h.Sum != -5+0+1+2+3+4+7+8+1024+1025 {
+		t.Errorf("sum = %d", h.Sum)
+	}
+	want := map[[2]uint64]uint64{
+		{0, 1}:       2, // -5, 0
+		{1, 2}:       1, // 1
+		{2, 4}:       2, // 2, 3
+		{4, 8}:       2, // 4, 7
+		{8, 16}:      1, // 8
+		{1024, 2048}: 2, // 1024, 1025
+	}
+	if len(h.Buckets) != len(want) {
+		t.Fatalf("got %d non-empty buckets, want %d: %+v", len(h.Buckets), len(want), h.Buckets)
+	}
+	for _, b := range h.Buckets {
+		if want[[2]uint64{b.Lo, b.Hi}] != b.Count {
+			t.Errorf("bucket [%d,%d) count=%d, want %d", b.Lo, b.Hi, b.Count, want[[2]uint64{b.Lo, b.Hi}])
+		}
+	}
+}
+
+// TestHistogramNilAndOrder: nil contexts swallow observations, and
+// snapshots come back sorted by name for deterministic rendering.
+func TestHistogramNilAndOrder(t *testing.T) {
+	var nilCtx *Ctx
+	nilCtx.Observe("x", 1) // must not panic
+	if got := nilCtx.Histograms(); got != nil {
+		t.Errorf("nil ctx histograms = %v, want nil", got)
+	}
+
+	c := New(Nop{})
+	c.Observe("zeta", 1)
+	c.Observe("alpha", 2)
+	c.Observe("mid", 3)
+	hists := c.Histograms()
+	var names []string
+	for _, h := range hists {
+		names = append(names, h.Name)
+	}
+	if fmt.Sprint(names) != "[alpha mid zeta]" {
+		t.Errorf("histogram order = %v, want sorted by name", names)
+	}
+	// Child contexts aggregate into the root, like counters do.
+	child, sp := c.Start("phase")
+	child.Observe("alpha", 10)
+	sp.End()
+	for _, h := range c.Histograms() {
+		if h.Name == "alpha" && h.Count != 2 {
+			t.Errorf("alpha count = %d after child observe, want 2", h.Count)
+		}
 	}
 }

@@ -93,6 +93,27 @@ func (l *Layout) OldAddr(new uint64) (uint64, bool) {
 	return v, ok
 }
 
+// ProcRange is one procedure's name and [Start,End) address range, in
+// ORIGINAL (pre-instrumentation) addresses. Together with OldAddr it is
+// everything a run-time observer needs to report measurements in the
+// application's own terms (paper, "Keeping Pristine Behavior").
+type ProcRange struct {
+	Name  string
+	Start uint64
+	End   uint64
+}
+
+// OrigProcs returns the program's procedures as original-address ranges,
+// sorted by start address.
+func (l *Layout) OrigProcs() []ProcRange {
+	out := make([]ProcRange, 0, len(l.prog.Procs))
+	for _, pr := range l.prog.Procs {
+		out = append(out, ProcRange{Name: pr.Name, Start: pr.Addr, End: pr.Addr + pr.Size})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
 // Result is the re-emitted program produced by Finish.
 type Result struct {
 	Text    []byte        // instrumented text, based at the original TextAddr

@@ -1,0 +1,246 @@
+package prof
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"atom/internal/om"
+	"atom/internal/rtl"
+	"atom/internal/vm"
+)
+
+// testProcs is a small synthetic address space: main [100,200),
+// compute [200,300), helper [400,500); [300,400) is a hole.
+func testProcs() []om.ProcRange {
+	return []om.ProcRange{
+		{Name: "compute", Start: 200, End: 300},
+		{Name: "main", Start: 100, End: 200},
+		{Name: "helper", Start: 400, End: 500},
+	}
+}
+
+// TestAttribution drives the probe interface directly and checks flat,
+// cumulative, and folded aggregation against hand-computed values.
+func TestAttribution(t *testing.T) {
+	p := New(Options{Procs: testProcs(), KeepSamples: true})
+
+	p.Sample(150)      // main, stack []
+	p.Call(150, 210)   // main calls compute
+	p.Sample(220)      // compute, stack [compute]
+	p.Sample(230)      // compute again
+	p.Call(230, 410)   // compute calls helper
+	p.Sample(450)      // helper, stack [compute helper]
+	p.Return(490, 231) // helper returns
+	p.Sample(240)      // compute, stack [compute]
+	p.Return(290, 151) // compute returns
+	p.Sample(350)      // hole: [unknown]
+
+	if got := p.TotalSamples(); got != 6 {
+		t.Fatalf("TotalSamples = %d, want 6", got)
+	}
+	samples := p.Samples()
+	wantFrames := []string{"main", "compute", "compute", "helper", "compute", UnknownFrame}
+	for i, s := range samples {
+		if s.Frame != wantFrames[i] {
+			t.Errorf("sample %d: frame %q, want %q", i, s.Frame, wantFrames[i])
+		}
+		if s.OrigPC != s.PC {
+			t.Errorf("sample %d: identity map must keep OrigPC == PC (%d != %d)", i, s.OrigPC, s.PC)
+		}
+	}
+
+	var flat bytes.Buffer
+	if err := p.WriteFlat(&flat); err != nil {
+		t.Fatal(err)
+	}
+	// compute: 3 flat, on-stack for 4 samples (its own 3 + helper's).
+	for _, want := range []string{
+		"period=10000 samples=6",
+		"   50.00        3        4  compute\n",
+		"   16.67        1        1  main\n",
+		"   16.67        1        1  helper\n",
+		"   16.67        1        1  [unknown]\n",
+	} {
+		if !strings.Contains(flat.String(), want) {
+			t.Errorf("flat report missing %q:\n%s", want, flat.String())
+		}
+	}
+
+	var folded bytes.Buffer
+	if err := p.WriteFolded(&folded); err != nil {
+		t.Fatal(err)
+	}
+	want := "[unknown] 1\n" +
+		"compute 3\n" +
+		"compute;helper 1\n" +
+		"main 1\n"
+	if folded.String() != want {
+		t.Errorf("folded:\n%s\nwant:\n%s", folded.String(), want)
+	}
+	if n, err := ValidateFolded(folded.Bytes()); err != nil || n != 4 {
+		t.Errorf("ValidateFolded = %d, %v; want 4, nil", n, err)
+	}
+}
+
+// TestAnalysisAttribution checks MapPC-driven attribution: PCs the map
+// rejects become [analysis], and consecutive analysis frames collapse in
+// the folded stack.
+func TestAnalysisAttribution(t *testing.T) {
+	// New PCs >= 1000 are injected code; below, identity-mapped.
+	mapPC := func(pc uint64) (uint64, bool) {
+		if pc >= 1000 {
+			return 0, false
+		}
+		return pc, true
+	}
+	p := New(Options{Procs: testProcs(), MapPC: mapPC, KeepSamples: true})
+
+	p.Call(150, 1000)  // main calls the wrapper (injected)
+	p.Call(1010, 1100) // wrapper calls the analysis routine (injected)
+	p.Sample(1150)     // sampled inside analysis code
+	p.Return(1190, 1011)
+	p.Return(1020, 151)
+	p.Sample(160) // back in main
+
+	s := p.Samples()
+	if s[0].Frame != AnalysisFrame || s[0].OrigPC != 0 {
+		t.Errorf("injected sample: frame %q origpc %d, want %q 0", s[0].Frame, s[0].OrigPC, AnalysisFrame)
+	}
+	if s[1].Frame != "main" || s[1].OrigPC != 160 {
+		t.Errorf("mapped sample: frame %q origpc %d, want main 160", s[1].Frame, s[1].OrigPC)
+	}
+
+	var folded bytes.Buffer
+	if err := p.WriteFolded(&folded); err != nil {
+		t.Fatal(err)
+	}
+	// Two injected stack frames plus the injected leaf collapse to ONE
+	// [analysis] entry.
+	want := "[analysis] 1\nmain 1\n"
+	if folded.String() != want {
+		t.Errorf("folded:\n%s\nwant:\n%s", folded.String(), want)
+	}
+}
+
+// TestStackOverflowBalanced checks that recursion past maxStackDepth is
+// counted, not recorded, and that returns unwind symmetrically.
+func TestStackOverflowBalanced(t *testing.T) {
+	p := New(Options{Procs: testProcs()})
+	const deep = maxStackDepth + 100
+	for i := 0; i < deep; i++ {
+		p.Call(150, 210)
+	}
+	if len(p.stack) != maxStackDepth || p.overflow != 100 {
+		t.Fatalf("stack %d overflow %d, want %d and 100", len(p.stack), p.overflow, maxStackDepth)
+	}
+	p.Sample(220)
+	if p.maxDepth > maxStackDepth+1 {
+		t.Errorf("maxDepth %d exceeds recorded stack bound", p.maxDepth)
+	}
+	for i := 0; i < deep; i++ {
+		p.Return(290, 151)
+	}
+	if len(p.stack) != 0 || p.overflow != 0 {
+		t.Errorf("after unwind: stack %d overflow %d, want 0 0", len(p.stack), p.overflow)
+	}
+	// Extra returns (unwinding past the entry frame) must be ignored.
+	p.Return(290, 151)
+	if len(p.stack) != 0 {
+		t.Error("return on empty stack modified it")
+	}
+}
+
+// TestValidateFolded exercises the syntax checker's rejection paths.
+func TestValidateFolded(t *testing.T) {
+	cases := []struct {
+		in string
+		ok bool
+	}{
+		{"main 5\n", true},
+		{"main;leaf 1\nother 2\n", true},
+		{"", false},
+		{"main\n", false},         // no count
+		{"main 0\n", false},       // zero count
+		{"main x\n", false},       // non-numeric count
+		{"main;;leaf 1\n", false}, // empty frame
+		{";main 1\n", false},      // leading empty frame
+	}
+	for _, tc := range cases {
+		_, err := ValidateFolded([]byte(tc.in))
+		if (err == nil) != tc.ok {
+			t.Errorf("ValidateFolded(%q): err=%v, want ok=%v", tc.in, err, tc.ok)
+		}
+	}
+}
+
+// vmTestSrc exercises calls and a compute loop — enough retired
+// instructions for a short sampling period to collect many samples.
+const vmTestSrc = `
+int acc;
+int work(int n) {
+	int i;
+	int s;
+	s = 0;
+	for (i = 0; i < n; i++) {
+		s = s + i * i;
+	}
+	return s;
+}
+int main() {
+	int i;
+	for (i = 0; i < 50; i++) {
+		acc = acc + work(100);
+	}
+	return 0;
+}
+`
+
+// TestVMDeterminism runs the same program twice under the VM with the
+// profiler attached and requires byte-identical flat and folded reports
+// — the property the CI profile smoke also checks end to end.
+func TestVMDeterminism(t *testing.T) {
+	exe, err := rtl.BuildProgram("profdet.c", vmTestSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnce := func() (flat, folded string, samples uint64) {
+		p := New(Options{Period: 97, Procs: ProcsFromSymbols(exe.Symbols)})
+		cfg := vm.Config{}
+		p.Attach(&cfg)
+		m, err := vm.New(exe, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var fb, ob bytes.Buffer
+		if err := p.WriteFlat(&fb); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.WriteFolded(&ob); err != nil {
+			t.Fatal(err)
+		}
+		return fb.String(), ob.String(), p.TotalSamples()
+	}
+	f1, o1, n1 := runOnce()
+	f2, o2, n2 := runOnce()
+	if n1 == 0 {
+		t.Fatal("no samples collected")
+	}
+	if n1 != n2 || f1 != f2 || o1 != o2 {
+		t.Errorf("profiles differ between identical runs (%d vs %d samples)\n--flat 1--\n%s--flat 2--\n%s", n1, n2, f1, f2)
+	}
+	if _, err := ValidateFolded([]byte(o1)); err != nil {
+		t.Errorf("VM-produced folded profile invalid: %v", err)
+	}
+	// Every sampled frame must resolve: work and main dominate, and no
+	// sample may be [unknown] — symbol ranges cover all program text.
+	if strings.Contains(f1, UnknownFrame) {
+		t.Errorf("flat report contains %s:\n%s", UnknownFrame, f1)
+	}
+	if !strings.Contains(f1, "work") || !strings.Contains(f1, "main") {
+		t.Errorf("flat report missing expected procedures:\n%s", f1)
+	}
+}

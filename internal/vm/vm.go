@@ -56,6 +56,28 @@ type Config struct {
 	// flushes the machine's dynamic statistics (instructions, loads,
 	// stores, unaligned accesses, CALL_PAL services) as counters.
 	Obs *obs.Ctx
+	// Probe, when non-nil, observes the machine's control flow: Call on
+	// every retired subroutine call (bsr/jsr writing a link register),
+	// Return on every ret, and — when SamplePeriod is non-zero — Sample
+	// every SamplePeriod retired instructions. All callbacks are a pure
+	// function of the instruction stream, so a deterministic program
+	// yields a deterministic event sequence (internal/prof builds its
+	// sampling profiler on this).
+	Probe Probe
+	// SamplePeriod is the sampling period in retired instructions; zero
+	// disables Sample callbacks.
+	SamplePeriod uint64
+}
+
+// Probe receives control-flow events from a running machine.
+type Probe interface {
+	// Sample reports the PC of the instruction that completed a sampling
+	// period, before that instruction's side effects are applied.
+	Sample(pc uint64)
+	// Call reports a retired subroutine call and its target.
+	Call(pc, target uint64)
+	// Return reports a retired ret and its target.
+	Return(pc, target uint64)
 }
 
 // Machine is one running instance.
@@ -219,6 +241,9 @@ func (m *Machine) Step() error {
 		fmt.Fprintf(m.cfg.Trace, "%#x: %s\n", m.PC, inst)
 	}
 	m.Icount++
+	if m.cfg.Probe != nil && m.cfg.SamplePeriod != 0 && m.Icount%m.cfg.SamplePeriod == 0 {
+		m.cfg.Probe.Sample(m.PC)
+	}
 	next := m.PC + 4
 
 	switch inst.Op {
@@ -251,6 +276,9 @@ func (m *Machine) Step() error {
 	case alpha.OpBr, alpha.OpBsr:
 		m.set(inst.Ra, int64(next))
 		next = uint64(int64(next) + int64(inst.Disp)*4)
+		if m.cfg.Probe != nil && inst.Op == alpha.OpBsr && inst.Ra != alpha.Zero {
+			m.cfg.Probe.Call(m.PC, next)
+		}
 
 	case alpha.OpBlbc, alpha.OpBeq, alpha.OpBlt, alpha.OpBle, alpha.OpBlbs, alpha.OpBne, alpha.OpBge, alpha.OpBgt:
 		if inst.CondHolds(m.Reg[inst.Ra]) {
@@ -261,6 +289,16 @@ func (m *Machine) Step() error {
 		target := uint64(m.Reg[inst.Rb]) &^ 3
 		m.set(inst.Ra, int64(next))
 		next = target
+		if m.cfg.Probe != nil {
+			switch {
+			case inst.Op == alpha.OpJsr && inst.Ra != alpha.Zero:
+				// A jsr that discards its return address is a computed
+				// goto, not a call; only link-writing jsrs push a frame.
+				m.cfg.Probe.Call(m.PC, target)
+			case inst.Op == alpha.OpRet:
+				m.cfg.Probe.Return(m.PC, target)
+			}
+		}
 
 	default:
 		v, err := m.operate(inst)

@@ -220,3 +220,87 @@ func TestObservabilityCounters(t *testing.T) {
 		t.Errorf("counter rendering differs across identical warm runs:\n--- run 1\n%s--- run 2\n%s", out1, out2)
 	}
 }
+
+// TestFailSoftFlush instruments a batch where one application is
+// invalid and requires every observability artifact to still be
+// complete and well-formed: the failure must neither lose the good
+// application's result nor corrupt the trace or metrics streams.
+func TestFailSoftFlush(t *testing.T) {
+	good, err := rtl.BuildProgram("good.c", obsTestSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &Executable{} // not linked: instrumentation must reject it
+
+	ts := &obs.TraceSink{}
+	ms := &obs.MetricsSink{}
+	ctx := obs.New(ts, ms)
+
+	tool, err := ToolByName("branch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, errs := core.InstrumentMany(ctx, []*Executable{good, bad}, core.Tool(tool), core.Options{}, 2)
+	if errs[0] != nil || results[0] == nil {
+		t.Fatalf("good app failed alongside bad one: %v", errs[0])
+	}
+	if errs[1] == nil {
+		t.Fatal("invalid app instrumented without error")
+	}
+
+	// The trace must marshal and parse even though a span subtree ended
+	// in failure.
+	data, err := ts.MarshalTrace()
+	if err != nil {
+		t.Fatalf("trace flush after failure: %v", err)
+	}
+	events, err := obs.ParseTrace(data)
+	if err != nil {
+		t.Fatalf("trace invalid after failure: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace empty after failure")
+	}
+	// Both instrument attempts must appear: fail-soft means the failing
+	// application is traced too, not dropped.
+	instruments := 0
+	for _, e := range events {
+		if e.Name == "atom.instrument" {
+			instruments++
+		}
+	}
+	if instruments != 2 {
+		t.Errorf("%d atom.instrument spans, want 2 (one per app, including the failure)", instruments)
+	}
+
+	// The metrics snapshot must render, and the apply-time histogram
+	// must have recorded the successful application.
+	var buf bytes.Buffer
+	if err := obs.WriteMetrics(&buf, ms, ctx.Counters(), ctx.Histograms()); err != nil {
+		t.Fatalf("metrics flush after failure: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("metrics snapshot empty after failure")
+	}
+	found := false
+	for _, h := range ctx.Histograms() {
+		if h.Name == "atom.apply_us" && h.Count >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("atom.apply_us histogram missing; histograms: %+v", ctx.Histograms())
+	}
+
+	// And the VM run of the surviving result still behaves.
+	m, err := vm.New(results[0].Exe, vm.Config{AnalysisHeapOffset: results[0].HeapOffset})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(m.Stdout, []byte("84")) {
+		t.Errorf("instrumented app output wrong: %q", m.Stdout)
+	}
+}
