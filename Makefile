@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race benchsmoke tracesmoke profsmoke bench ci
+.PHONY: all build fmt vet test race benchsmoke tracesmoke profsmoke vetsmoke bench ci
 
 all: build
 
@@ -49,8 +49,20 @@ profsmoke:
 	$(GO) run ./cmd/atom -verify-folded $$tmp/p1.folded; \
 	cmp $$tmp/p1.folded $$tmp/p2.folded
 
+# Instrument a program with every built-in tool under -vet: the IR
+# verifier checks the input, the PC maps, and each rewritten output.
+vetsmoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	printf '#include <stdio.h>\nint main() { printf("ok\\n"); return 0; }\n' > $$tmp/smoke.c; \
+	$(GO) run ./cmd/minicc -o $$tmp/smoke.o $$tmp/smoke.c; \
+	$(GO) run ./cmd/alink -o $$tmp/smoke.x $$tmp/smoke.o; \
+	$(GO) build -o $$tmp/atom ./cmd/atom; \
+	for t in $$($$tmp/atom -list | awk '{print $$1}'); do \
+		$$tmp/atom -vet -t $$t -o $$tmp/smoke.$$t.atom $$tmp/smoke.x || exit 1; \
+	done
+
 # Real measurements (slow); see EXPERIMENTS.md for recorded numbers.
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-ci: fmt vet build race benchsmoke tracesmoke profsmoke
+ci: fmt vet build race benchsmoke tracesmoke profsmoke vetsmoke

@@ -195,18 +195,18 @@ func BenchmarkRegSummary(b *testing.B) {
 	}
 }
 
-// BenchmarkLiveReg ablates the live-register refinement the paper lists
-// as future work (implemented here): dead registers are not saved at
-// sites. The win is modest — most sites save only ra plus argument
-// registers, and those are usually live — matching the paper's guarded
-// expectation ("we expect it to decrease further").
+// BenchmarkLiveReg ablates the LOCAL live-register refinement (one-block
+// lookahead), the first rung of the liveness ladder; both sides disable
+// the global analysis so its effect is isolated. The win is modest —
+// most sites save only ra plus argument registers, and within one block
+// little is provably dead.
 func BenchmarkLiveReg(b *testing.B) {
 	for _, c := range []struct {
 		name string
 		opts core.Options
 	}{
-		{"baseline", core.Options{}},
-		{"livereg", core.Options{LiveRegOpt: true}},
+		{"baseline", core.Options{NoLiveness: true}},
+		{"livereg", core.Options{NoLiveness: true, LiveRegOpt: true}},
 	} {
 		c := c
 		b.Run(c.name, func(b *testing.B) {
@@ -218,6 +218,53 @@ func BenchmarkLiveReg(b *testing.B) {
 				b.ReportMetric(r, "ratio")
 			}
 		})
+	}
+}
+
+// BenchmarkLiveness ablates the global register-liveness analysis
+// (the paper's "Only the live registers need to be saved and restored"
+// refinement, the top rung of the ladder): per-tool, the instrumented/
+// uninstrumented instruction ratio and the average registers saved per
+// site with the analysis on (default) and off. The per-event tools show
+// the effect most clearly — every site that saves fewer registers
+// executes fewer loads and stores per event.
+func BenchmarkLiveness(b *testing.B) {
+	for _, tname := range []string{"branch", "cache", "prof"} {
+		tname := tname
+		tool, _ := tools.ByName(tname)
+		for _, c := range []struct {
+			name string
+			opts core.Options
+		}{
+			{"on", core.Options{}},
+			{"off", core.Options{NoLiveness: true}},
+		} {
+			c := c
+			b.Run(tname+"/"+c.name, func(b *testing.B) {
+				exe, err := spec.Build("eqntott")
+				if err != nil {
+					b.Fatal(err)
+				}
+				var ratio float64
+				var saved, sites int
+				for i := 0; i < b.N; i++ {
+					res, err := core.Instrument(exe, tool, c.opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					saved, sites = res.Stats.SavedRegs, res.Stats.Calls
+					r, err := figures.RatioFor(tname, "eqntott", c.opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ratio = r
+				}
+				b.ReportMetric(ratio, "ratio")
+				if sites > 0 {
+					b.ReportMetric(float64(saved)/float64(sites), "regs/site")
+				}
+			})
+		}
 	}
 }
 

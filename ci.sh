@@ -39,3 +39,11 @@ go run ./cmd/atom -verify-folded "$tmp/p1.folded"
 cmp "$tmp/p1.folded" "$tmp/p2.folded"
 go run ./cmd/atom -t branch -run -profile "$tmp/p.flat" -profile-period 500 "$tmp/smoke.x" > /dev/null
 grep -q '# atom prof: period=500' "$tmp/p.flat"
+
+# Vet gate: instrument the smoke program with EVERY built-in tool under
+# -vet, so the IR verifier checks the input program, the layout PC maps,
+# and the rewritten text of each tool's output.
+go build -o "$tmp/atom" ./cmd/atom
+for t in $("$tmp/atom" -list | awk '{print $1}'); do
+    "$tmp/atom" -vet -t "$t" -o "$tmp/smoke.$t.atom" "$tmp/smoke.x"
+done

@@ -28,6 +28,7 @@
 //	atom -t cache -metrics prog.x        # span/counter/histogram snapshot
 //	atom -t cache -cpuprofile cpu.pprof prog.x
 //	atom -t cache -bench-json run.json prog.x  # per-phase JSON breakdown
+//	atom -t cache -vet prog.x            # verify IR, PC maps, rewritten text
 //	atom -verify-trace t.json            # validate a trace file (CI smoke)
 //
 // It also regenerates the paper's evaluation artifacts:
@@ -67,6 +68,8 @@ func run() (code int) {
 		mode          = flag.String("mode", "wrapper", "register-save mode: wrapper | inanalysis")
 		heapOff       = flag.Uint64("heap", 0, "partition the heap: analysis zone offset in bytes (0 = linked sbrks)")
 		noSummary     = flag.Bool("nosummary", false, "disable the data-flow register summary (save all caller-save registers)")
+		noLiveness    = flag.Bool("noliveness", false, "disable the register-liveness analysis (save registers without regard to liveness)")
+		vet           = flag.Bool("vet", false, "verify the OM IR before instrumentation and the PC maps and rewritten text after")
 		jobs          = flag.Int("j", 1, "instrument up to N input programs in parallel (0 = GOMAXPROCS)")
 		list          = flag.Bool("list", false, "list the built-in tools")
 		table         = flag.String("table", "", "regenerate a paper table: fig5 | fig6")
@@ -122,7 +125,7 @@ func run() (code int) {
 	doRun := *runMode || *profilePath != ""
 
 	if flag.NArg() < 1 || (*toolName == "" && !doRun) {
-		fmt.Fprintln(os.Stderr, "usage: atom prog.x [prog2.x ...] -t tool [-o prog.atom] [-j N] [-mode wrapper|inanalysis] [-heap N]")
+		fmt.Fprintln(os.Stderr, "usage: atom prog.x [prog2.x ...] -t tool [-o prog.atom] [-j N] [-mode wrapper|inanalysis] [-heap N] [-vet]")
 		fmt.Fprintln(os.Stderr, "       atom [-t tool] -run [-profile file [-profile-period N] [-profile-format flat|folded]] prog.x [args...]")
 		fmt.Fprintln(os.Stderr, "       atom -list | -table fig5|fig6 [-bench-json file] | -verify-trace file")
 		return 2
@@ -138,7 +141,7 @@ func run() (code int) {
 			return fail(fmt.Errorf("unknown tool %q; try -list", *toolName))
 		}
 	}
-	opts := core.Options{HeapOffset: *heapOff, NoRegSummary: *noSummary}
+	opts := core.Options{HeapOffset: *heapOff, NoRegSummary: *noSummary, NoLiveness: *noLiveness, Verify: *vet}
 	switch *mode {
 	case "wrapper":
 		opts.Mode = core.SaveWrapper
@@ -569,24 +572,24 @@ func runTable(which, progList, benchJSON string, verbose bool) int {
 	}
 	switch which {
 	case "fig5":
-		rows, err := figures.Fig5(names, progress)
+		rows, hists, err := figures.Fig5(names, progress)
 		if err != nil {
 			return fail(err)
 		}
 		figures.PrintFig5(os.Stdout, rows)
 		if benchJSON != "" {
-			if err := figures.WriteBenchJSON(benchJSON, rows, nil); err != nil {
+			if err := figures.WriteBenchJSON(benchJSON, rows, nil, hists); err != nil {
 				return fail(err)
 			}
 		}
 	case "fig6":
-		rows, err := figures.Fig6(names, progress)
+		rows, hists, err := figures.Fig6(names, progress)
 		if err != nil {
 			return fail(err)
 		}
 		figures.PrintFig6(os.Stdout, rows)
 		if benchJSON != "" {
-			if err := figures.WriteBenchJSON(benchJSON, nil, rows); err != nil {
+			if err := figures.WriteBenchJSON(benchJSON, nil, rows, hists); err != nil {
 				return fail(err)
 			}
 		}

@@ -40,12 +40,14 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"atom/internal/aout"
 	"atom/internal/link"
 	"atom/internal/obs"
 	"atom/internal/om"
+	"atom/internal/om/dataflow"
 )
 
 // Tool is a complete ATOM tool: instrumentation routine plus analysis
@@ -89,18 +91,46 @@ type Options struct {
 	// NoRegSummary disables the data-flow summary and saves every
 	// caller-save register around every call (ablation baseline).
 	NoRegSummary bool
-	// LiveRegOpt enables the live-register refinement the paper lists as
-	// future work: registers provably dead at a site (overwritten before
-	// any read in the remainder of its basic block) are not saved there.
+	// LiveRegOpt enables the purely local live-register refinement
+	// (registers overwritten before any read in the remainder of their
+	// basic block are not saved). It is subsumed by the interprocedural
+	// liveness pass and only has an effect when NoLiveness is set; the
+	// two together form the none/local/full ablation ladder.
 	LiveRegOpt bool
+	// NoLiveness disables the interprocedural register-liveness pass
+	// (internal/om/dataflow), reverting each site's save set to ra, the
+	// written argument registers, and at regardless of what the
+	// application could actually read afterwards. The zero value —
+	// liveness on — is the default; set it (or use WithLiveness(false))
+	// for ablation.
+	NoLiveness bool
+	// Verify runs the IR verifier (om.Verify) over the application before
+	// rewriting and re-verifies the layout PC maps and the emitted text
+	// afterwards, failing the run on any diagnostic (cmd/atom -vet).
+	Verify bool
 	// ToolArgs are passed to the instrumentation routine (iargc/iargv).
 	ToolArgs []string
 }
+
+// Option is a functional adjustment applied on top of an Options value.
+type Option func(*Options)
+
+// WithLiveness toggles the interprocedural register-liveness pass that
+// minimizes per-site save sets to live(site) ∩ modified(routine). It is
+// on by default; WithLiveness(false) restores the previous behavior —
+// every site saves ra, its written argument registers, and at — for
+// ablation.
+func WithLiveness(on bool) Option { return func(o *Options) { o.NoLiveness = !on } }
+
+// WithVerify toggles the IR verifier around the rewrite (off by default;
+// cmd/atom -vet and the test suite turn it on).
+func WithVerify(on bool) Option { return func(o *Options) { o.Verify = on } }
 
 // Stats reports what an instrumentation run did.
 type Stats struct {
 	Calls         int    // inserted call sites
 	InsertedInsts int    // total spliced instructions in the application
+	SavedRegs     int    // registers saved at call sites, summed over sites
 	OrigText      uint64 // application text before instrumentation
 	InstrText     uint64 // application text after instrumentation
 	AnalysisText  uint64 // analysis image text size
@@ -224,6 +254,11 @@ func applyPlan(ctx *obs.Ctx, app *aout.File, q *Instrumentation, ti *ToolImage, 
 		start := time.Now()
 		defer func() { ctx.Observe("atom.apply_us", time.Since(start).Microseconds()) }()
 	}
+	if opts.Verify {
+		if ds := q.prog.VerifyCtx(actx); len(ds) > 0 {
+			return nil, verifyError("input IR", ds)
+		}
+	}
 	// Verify every called analysis procedure against the image.
 	seen := map[string]bool{}
 	for _, req := range q.journal {
@@ -264,6 +299,28 @@ func applyPlan(ctx *obs.Ctx, app *aout.File, q *Instrumentation, ti *ToolImage, 
 		}
 	}
 
+	// The per-site save set: with the liveness pass on (the default) a
+	// register is saved only if the application may still read it AND the
+	// analysis routine may modify it — the paper's live ∩ modified
+	// refinement. One subtlety: instrumentation itself reads application
+	// registers (REGV arguments), possibly at a LATER site than the one
+	// deciding a save, so every register any site passes by REGV is kept
+	// live program-wide. Sources read at the deciding site itself are
+	// already protected inside buildSite (their save slot doubles as the
+	// source copy).
+	var lv *dataflow.Liveness
+	var regvRead om.RegSet
+	if !opts.NoLiveness {
+		lv = dataflow.ComputeCtx(actx, q.prog)
+		for _, req := range q.journal {
+			for _, a := range req.args {
+				if a.kind == argRegV {
+					regvRead = regvRead.Add(a.reg)
+				}
+			}
+		}
+	}
+
 	stats := Stats{Calls: len(q.journal), OrigText: uint64(len(app.Text))}
 	for _, req := range ordered {
 		target := req.proto.Name
@@ -271,14 +328,26 @@ func applyPlan(ctx *obs.Ctx, app *aout.File, q *Instrumentation, ti *ToolImage, 
 			target = WrapperName(target)
 		}
 		var dead om.RegSet
-		if opts.LiveRegOpt {
+		switch {
+		case lv != nil:
+			live := lv.LiveIn(req.inst)
+			if req.place == After {
+				live = lv.LiveOut(req.inst)
+			}
+			dead = dataflow.ConservativeCallerSave() &^ live &^ regvRead
+			// Histogram of caller-save live-set sizes at sites: the set
+			// the save planner cannot drop below.
+			ctx.Observe("atom.site_live_regs", int64((dataflow.ConservativeCallerSave() &^ dead).Count()))
+		case opts.LiveRegOpt:
 			dead = deadAtSite(req.inst, req.place)
 		}
-		code, err := buildSite(req, target, dead)
+		code, nsaved, err := buildSite(req, target, dead)
 		if err != nil {
 			return nil, err
 		}
 		stats.InsertedInsts += len(code.Insts)
+		stats.SavedRegs += nsaved
+		ctx.Observe("atom.site_saved_regs", int64(nsaved))
 		if req.place == Before {
 			req.inst.Before = append(req.inst.Before, code)
 		} else {
@@ -291,6 +360,11 @@ func applyPlan(ctx *obs.Ctx, app *aout.File, q *Instrumentation, ti *ToolImage, 
 	// the image was linked once at a canonical base and keeps its
 	// relocation records, so no relink happens here.
 	lay := q.prog.LayoutCtx(actx)
+	if opts.Verify {
+		if ds := lay.VerifyCtx(actx); len(ds) > 0 {
+			return nil, verifyError("layout PC maps", ds)
+		}
+	}
 	stats.InstrText = lay.TextSize()
 	analysisBase := (app.TextAddr + lay.TextSize() + 15) &^ 15
 	img, err := link.RebaseCtx(actx, ti.img, analysisBase)
@@ -338,6 +412,11 @@ func applyPlan(ctx *obs.Ctx, app *aout.File, q *Instrumentation, ti *ToolImage, 
 	if err != nil {
 		return nil, err
 	}
+	if opts.Verify {
+		if ds := lay.VerifyRewriteCtx(actx, res); len(ds) > 0 {
+			return nil, verifyError("rewritten text", ds)
+		}
+	}
 
 	// Compose the final executable: instrumented application text, then
 	// the analysis text, data and constant blobs in the gap, then the
@@ -379,4 +458,21 @@ func applyPlan(ctx *obs.Ctx, app *aout.File, q *Instrumentation, ti *ToolImage, 
 	ctx.Count("atom.sites", int64(stats.Calls))
 	ctx.Count("atom.bytes_marshalled", int64(len(out.Text)+len(out.Data)))
 	return &Result{Exe: out, HeapOffset: opts.HeapOffset, PCMap: lay, Stats: stats}, nil
+}
+
+// verifyError folds verifier diagnostics into one error, original PCs
+// and procedures first so a failure points at source-level code.
+func verifyError(stage string, diags []om.Diag) error {
+	const show = 8
+	var b strings.Builder
+	fmt.Fprintf(&b, "atom: verifier: %s: %d diagnostic(s)", stage, len(diags))
+	for i, d := range diags {
+		if i == show {
+			fmt.Fprintf(&b, "\n\t... and %d more", len(diags)-show)
+			break
+		}
+		b.WriteString("\n\t")
+		b.WriteString(d.String())
+	}
+	return fmt.Errorf("%s", b.String())
 }

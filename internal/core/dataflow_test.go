@@ -1,0 +1,114 @@
+package core_test
+
+import (
+	"testing"
+
+	"atom/internal/core"
+	"atom/internal/spec"
+	"atom/internal/tools"
+	"atom/internal/vm"
+)
+
+// TestLivenessPreservesBehavior is the global analysis's pristine-behavior
+// regression: with liveness on (the default) and off, the instrumented
+// program's stdout and the tool's report are bit-identical, and the
+// liveness run retires strictly fewer instructions (it skips saves of
+// dead registers at sites).
+func TestLivenessPreservesBehavior(t *testing.T) {
+	for _, tc := range []struct{ tool, prog string }{
+		{"branch", "queens"},
+		{"cache", "eqntott"},
+		{"dyninst", "tomcatv"},
+		{"gprof", "spice"},
+	} {
+		tc := tc
+		t.Run(tc.tool+"/"+tc.prog, func(t *testing.T) {
+			exe, err := spec.Build(tc.prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tool, _ := tools.ByName(tc.tool)
+			var outs [2]string
+			var icounts [2]uint64
+			for i, noLive := range []bool{true, false} {
+				res, err := core.Instrument(exe, tool, core.Options{NoLiveness: noLive, Verify: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				p, _ := spec.ByName(tc.prog)
+				m, err := vm.New(res.Exe, vm.Config{Stdin: p.Stdin, FS: p.FS, MaxInstr: 2_000_000_000})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := m.Run(); err != nil {
+					t.Fatalf("noliveness=%v: %v", noLive, err)
+				}
+				outs[i] = string(m.Stdout) + "|" + string(m.FSOut[tc.tool+".out"])
+				icounts[i] = m.Icount
+			}
+			if outs[0] != outs[1] {
+				t.Errorf("liveness changed behavior:\n%s\nvs\n%s", outs[0], outs[1])
+			}
+			if icounts[1] >= icounts[0] {
+				t.Errorf("liveness run not cheaper: %d vs %d", icounts[1], icounts[0])
+			} else {
+				t.Logf("saved %.1f%% of instructions (%d -> %d)",
+					100*(1-float64(icounts[1])/float64(icounts[0])), icounts[0], icounts[1])
+			}
+		})
+	}
+}
+
+// TestLivenessSavesFewerRegs checks the acceptance bar directly: with
+// liveness on, the summed register-save count across sites is strictly
+// smaller on the built-in tools, with the same sites instrumented.
+func TestLivenessSavesFewerRegs(t *testing.T) {
+	exe, err := spec.Build("queens")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fewer := 0
+	for _, tname := range []string{"branch", "cache", "prof"} {
+		tool, _ := tools.ByName(tname)
+		off, err := core.Instrument(exe, tool, core.Options{NoLiveness: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		on, err := core.Instrument(exe, tool, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if on.Stats.Calls != off.Stats.Calls {
+			t.Errorf("%s: site count changed with liveness: %d vs %d", tname, on.Stats.Calls, off.Stats.Calls)
+		}
+		switch {
+		case on.Stats.SavedRegs < off.Stats.SavedRegs:
+			fewer++
+			t.Logf("%s: %d -> %d registers saved across %d sites",
+				tname, off.Stats.SavedRegs, on.Stats.SavedRegs, on.Stats.Calls)
+		case on.Stats.SavedRegs > off.Stats.SavedRegs:
+			t.Errorf("%s: liveness INCREASED saves: %d -> %d", tname, off.Stats.SavedRegs, on.Stats.SavedRegs)
+		}
+	}
+	if fewer < 2 {
+		t.Errorf("liveness saved strictly fewer registers on %d tools, want >= 2", fewer)
+	}
+}
+
+// TestVerifySweep instruments a couple of programs with every built-in
+// tool under -vet semantics: the IR verifier must pass on the input
+// program, the layout PC maps, and the rewritten text, for every tool.
+func TestVerifySweep(t *testing.T) {
+	for _, prog := range []string{"queens", "ora"} {
+		exe, err := spec.Build(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tname := range tools.Names() {
+			tool, _ := tools.ByName(tname)
+			if _, err := core.Instrument(exe, tool, core.Options{Verify: true}); err != nil {
+				t.Errorf("%s on %s: %v", tname, prog, err)
+			}
+		}
+	}
+}

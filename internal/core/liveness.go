@@ -5,12 +5,12 @@ import (
 	"atom/internal/om"
 )
 
-// Live-register analysis at instrumentation sites — the refinement the
-// paper leaves as future work ("The number of registers that need to be
-// saved may be further reduced by computing live registers in the
-// application program ... Only the live registers need to be saved and
-// restored to preserve the state of the program execution"). Enabled by
-// Options.LiveRegOpt and ablated by BenchmarkLiveReg.
+// LOCAL live-register analysis at instrumentation sites — the legacy
+// middle rung of the liveness ladder, superseded by the global backward
+// dataflow in internal/om/dataflow (which subsumes it and is on by
+// default). This path only runs when Options.NoLiveness disables the
+// global analysis AND Options.LiveRegOpt asks for the local refinement;
+// BenchmarkLiveReg ablates it in isolation.
 //
 // The implementation is intentionally conservative and purely local: a
 // register is considered dead at a site only when the *remainder of the

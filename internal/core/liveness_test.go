@@ -10,8 +10,10 @@ import (
 )
 
 // TestLiveRegOptPreservesBehavior runs several tools over suite programs
-// with and without the live-register refinement: outputs must be
-// identical and the optimized run strictly cheaper.
+// with and without the local live-register refinement: outputs must be
+// identical and the optimized run strictly cheaper. Both runs pin
+// NoLiveness so the test exercises the legacy single-block path rather
+// than the global dataflow analysis (which subsumes it).
 func TestLiveRegOptPreservesBehavior(t *testing.T) {
 	for _, tc := range []struct{ tool, prog string }{
 		{"branch", "queens"},
@@ -29,7 +31,7 @@ func TestLiveRegOptPreservesBehavior(t *testing.T) {
 			var outs [2]string
 			var icounts [2]uint64
 			for i, opt := range []bool{false, true} {
-				res, err := core.Instrument(exe, tool, core.Options{LiveRegOpt: opt})
+				res, err := core.Instrument(exe, tool, core.Options{NoLiveness: true, LiveRegOpt: opt})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -62,11 +64,11 @@ func TestLiveRegOptPreservesBehavior(t *testing.T) {
 func TestLiveRegSmallerTemplates(t *testing.T) {
 	app := buildApp(t, loopApp)
 	tool, _ := tools.ByName("dyninst")
-	base, err := core.Instrument(app, tool, core.Options{})
+	base, err := core.Instrument(app, tool, core.Options{NoLiveness: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt, err := core.Instrument(app, tool, core.Options{LiveRegOpt: true})
+	opt, err := core.Instrument(app, tool, core.Options{NoLiveness: true, LiveRegOpt: true})
 	if err != nil {
 		t.Fatal(err)
 	}

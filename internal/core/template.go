@@ -41,7 +41,7 @@ type siteBuilder struct {
 	clobbered om.RegSet // argument registers already overwritten
 }
 
-func buildSite(req *callReq, target string, dead om.RegSet) (om.Code, error) {
+func buildSite(req *callReq, target string, dead om.RegSet) (om.Code, int, error) {
 	b := &siteBuilder{req: req, target: target, slot: map[alpha.Reg]int64{}}
 
 	nargs := len(req.args)
@@ -92,7 +92,7 @@ func buildSite(req *callReq, target string, dead om.RegSet) (om.Code, error) {
 	}
 	b.frame = (off + 15) &^ 15
 	if b.frame > 0x7FFF {
-		return om.Code{}, fmt.Errorf("atom: call frame too large (%d args)", nargs)
+		return om.Code{}, 0, fmt.Errorf("atom: call frame too large (%d args)", nargs)
 	}
 
 	// Prologue: allocate, save.
@@ -105,7 +105,7 @@ func buildSite(req *callReq, target string, dead om.RegSet) (om.Code, error) {
 	// sources are still pristine).
 	for i := alpha.MaxRegArgs; i < nargs; i++ {
 		if err := b.materialize(req.args[i], alpha.AT); err != nil {
-			return om.Code{}, err
+			return om.Code{}, 0, err
 		}
 		b.emit(alpha.Mem(alpha.OpStq, alpha.AT, alpha.SP, int32(int64(i-alpha.MaxRegArgs)*8)))
 	}
@@ -118,7 +118,7 @@ func buildSite(req *callReq, target string, dead om.RegSet) (om.Code, error) {
 	// registers already overwritten are reloaded from their save slots.
 	for i := 0; i < nreg; i++ {
 		if err := b.materialize(req.args[i], argRegs[i]); err != nil {
-			return om.Code{}, err
+			return om.Code{}, 0, err
 		}
 		b.clobbered = b.clobbered.Add(argRegs[i])
 	}
@@ -134,7 +134,7 @@ func buildSite(req *callReq, target string, dead om.RegSet) (om.Code, error) {
 	}
 	b.emit(alpha.Mem(alpha.OpLda, alpha.SP, alpha.SP, int32(b.frame)))
 
-	return om.Code{Insts: b.insts, Relocs: b.relocs}, nil
+	return om.Code{Insts: b.insts, Relocs: b.relocs}, b.saved.Count(), nil
 }
 
 func (b *siteBuilder) emit(i alpha.Inst) { b.insts = append(b.insts, i) }

@@ -10,6 +10,7 @@ import (
 	"atom/internal/link"
 	"atom/internal/obs"
 	"atom/internal/om"
+	"atom/internal/om/dataflow"
 	"atom/internal/rtl"
 )
 
@@ -202,7 +203,7 @@ func buildToolImage(ctx *obs.Ctx, tool Tool, opts Options, protos map[string]*Pr
 	if err != nil {
 		return nil, fmt.Errorf("atom: analysis image: %w", err)
 	}
-	summary := aprog.ModifiedRegsCtx(ictx)
+	summary := dataflow.ModifiedRegsCtx(ictx, aprog)
 
 	ti := &ToolImage{
 		tool:     tool,

@@ -15,11 +15,15 @@ import (
 // declaration order and map-free documents byte-identically, so two runs
 // over identical measurements produce identical files.
 
-// BenchJSON is the top-level document WriteBenchJSON emits.
+// BenchJSON is the top-level document WriteBenchJSON emits. Hists
+// carries pipeline distributions aggregated over the whole measurement —
+// notably atom.site_live_regs and atom.site_saved_regs, the per-site
+// caller-save live-set and save-set sizes the liveness analysis acts on.
 type BenchJSON struct {
-	Schema string         `json:"schema"` // "atom-bench/v2"
-	Fig5   []BenchFig5Row `json:"fig5,omitempty"`
-	Fig6   []BenchFig6Row `json:"fig6,omitempty"`
+	Schema string           `json:"schema"` // "atom-bench/v2"
+	Fig5   []BenchFig5Row   `json:"fig5,omitempty"`
+	Fig6   []BenchFig6Row   `json:"fig6,omitempty"`
+	Hists  []BenchHistogram `json:"histograms,omitempty"`
 }
 
 // BenchPhases is a per-phase time breakdown in milliseconds, as measured
@@ -70,9 +74,12 @@ type BenchFig6Row struct {
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // WriteBenchJSON writes Figure 5/6 measurements as JSON to path. Either
-// row slice may be nil.
-func WriteBenchJSON(path string, fig5 []Fig5Row, fig6 []Fig6Row) error {
-	doc := BenchJSON{Schema: "atom-bench/v2"}
+// row slice (and the histogram snapshot) may be nil.
+func WriteBenchJSON(path string, fig5 []Fig5Row, fig6 []Fig6Row, hists []obs.Hist) error {
+	doc := BenchJSON{Schema: "atom-bench/v2", Hists: Histograms(hists)}
+	if len(doc.Hists) == 0 {
+		doc.Hists = nil
+	}
 	for _, r := range fig5 {
 		doc.Fig5 = append(doc.Fig5, BenchFig5Row{
 			Tool:        r.Tool,

@@ -98,7 +98,10 @@ type Fig5Row struct {
 // For each tool the artifact caches are dropped first, so ToolBuild is a
 // true cold build; the per-program loop then runs against the warm cache,
 // which is how the system behaves when one tool is applied to a suite.
-func Fig5(names []string, progress io.Writer) ([]Fig5Row, error) {
+// It also returns the pipeline histograms (per-site live/saved register
+// distributions among them) aggregated across every tool, for the bench
+// JSON document.
+func Fig5(names []string, progress io.Writer) ([]Fig5Row, []obs.Hist, error) {
 	if len(names) == 0 {
 		for _, p := range spec.Suite() {
 			names = append(names, p.Name)
@@ -107,10 +110,11 @@ func Fig5(names []string, progress io.Writer) ([]Fig5Row, error) {
 	// Warm the application-build cache outside the timers.
 	for _, pn := range names {
 		if _, err := spec.Build(pn); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	var rows []Fig5Row
+	var hists []obs.Hist
 	for _, tname := range tools.Names() {
 		tool, _ := tools.ByName(tname)
 
@@ -125,7 +129,7 @@ func Fig5(names []string, progress io.Writer) ([]Fig5Row, error) {
 		start := time.Now()
 		ti, err := core.BuildToolImageCtx(mctx, tool, core.Options{})
 		if err != nil {
-			return nil, fmt.Errorf("fig5: building %s: %w", tname, err)
+			return nil, nil, fmt.Errorf("fig5: building %s: %w", tname, err)
 		}
 		toolBuild := time.Since(start)
 
@@ -133,10 +137,10 @@ func Fig5(names []string, progress io.Writer) ([]Fig5Row, error) {
 		for _, pn := range names {
 			exe, err := spec.BuildCtx(mctx, pn)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if _, err := core.ApplyCtx(mctx, exe, ti, core.Options{}); err != nil {
-				return nil, fmt.Errorf("fig5: %s on %s: %w", tname, pn, err)
+				return nil, nil, fmt.Errorf("fig5: %s on %s: %w", tname, pn, err)
 			}
 		}
 		total := time.Since(start)
@@ -153,12 +157,13 @@ func Fig5(names []string, progress io.Writer) ([]Fig5Row, error) {
 			ImageCache:  core.ImageCacheStats(),
 			ObjectCache: rtl.ObjectCacheStats(),
 		})
+		hists = obs.MergeHists(hists, mctx.Histograms())
 		if progress != nil {
 			fmt.Fprintf(progress, "fig5: %-8s build %v, apply %v\n",
 				tname, toolBuild.Round(time.Millisecond), total.Round(time.Millisecond))
 		}
 	}
-	return rows, nil
+	return rows, hists, nil
 }
 
 // Fig6Row is one Figure 6 line.
@@ -202,6 +207,13 @@ func baselineIcount(name string) (uint64, error) {
 // RatioFor measures one tool on one program and returns the
 // instrumented/uninstrumented instruction ratio.
 func RatioFor(toolName, progName string, opts core.Options) (float64, error) {
+	return RatioForCtx(nil, toolName, progName, opts)
+}
+
+// RatioForCtx is RatioFor under a stage context, so a caller collecting
+// pipeline counters and histograms (per-site live/saved register
+// distributions among them) sees every instrumentation in the sweep.
+func RatioForCtx(ctx *obs.Ctx, toolName, progName string, opts core.Options) (float64, error) {
 	base, err := baselineIcount(progName)
 	if err != nil {
 		return 0, err
@@ -214,7 +226,7 @@ func RatioFor(toolName, progName string, opts core.Options) (float64, error) {
 	if !ok {
 		return 0, fmt.Errorf("fig6: unknown tool %q", toolName)
 	}
-	res, err := core.Instrument(exe, tool, opts)
+	res, err := core.InstrumentCtx(ctx, exe, tool, opts)
 	if err != nil {
 		return 0, fmt.Errorf("fig6: %s on %s: %w", toolName, progName, err)
 	}
@@ -235,21 +247,24 @@ func RatioFor(toolName, progName string, opts core.Options) (float64, error) {
 }
 
 // Fig6 measures every tool over the given programs (all 20 when names is
-// empty) and returns per-tool geometric-mean ratios.
-func Fig6(names []string, progress io.Writer) ([]Fig6Row, error) {
+// empty) and returns per-tool geometric-mean ratios, plus the pipeline
+// histograms aggregated over the whole sweep.
+func Fig6(names []string, progress io.Writer) ([]Fig6Row, []obs.Hist, error) {
 	if len(names) == 0 {
 		for _, p := range spec.Suite() {
 			names = append(names, p.Name)
 		}
 	}
+	// A sinkless context still aggregates counters and histograms.
+	mctx := obs.New()
 	var rows []Fig6Row
 	for _, tname := range tools.Names() {
 		logSum := 0.0
 		minR, maxR := math.Inf(1), 0.0
 		for _, pn := range names {
-			r, err := RatioFor(tname, pn, core.Options{})
+			r, err := RatioForCtx(mctx, tname, pn, core.Options{})
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			logSum += math.Log(r)
 			minR = math.Min(minR, r)
@@ -268,7 +283,7 @@ func Fig6(names []string, progress io.Writer) ([]Fig6Row, error) {
 			MaxRatio: maxR,
 		})
 	}
-	return rows, nil
+	return rows, mctx.Histograms(), nil
 }
 
 // PrintFig5 renders Figure 5 next to the paper's numbers. "build" is the

@@ -9,12 +9,21 @@ import (
 )
 
 func TestFig5Subset(t *testing.T) {
-	rows, err := figures.Fig5([]string{"queens", "eqntott"}, nil)
+	rows, hists, err := figures.Fig5([]string{"queens", "eqntott"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rows) != 11 {
 		t.Fatalf("rows = %d, want 11", len(rows))
+	}
+	saw := map[string]bool{}
+	for _, h := range hists {
+		saw[h.Name] = h.Count > 0
+	}
+	for _, want := range []string{"atom.site_live_regs", "atom.site_saved_regs"} {
+		if !saw[want] {
+			t.Errorf("aggregated histograms lack %s (have %v)", want, saw)
+		}
 	}
 	for _, r := range rows {
 		if r.Total <= 0 || r.Avg <= 0 || r.Programs != 2 {
@@ -32,7 +41,7 @@ func TestFig5Subset(t *testing.T) {
 }
 
 func TestFig6Subset(t *testing.T) {
-	rows, err := figures.Fig6([]string{"queens"}, nil)
+	rows, _, err := figures.Fig6([]string{"queens"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -299,3 +299,56 @@ func (c *Ctx) Histograms() []Hist {
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
+
+// MergeHists merges histogram snapshots by name: counts, sums, and
+// per-bucket tallies add, observed extremes widen. Because buckets are
+// fixed powers of two, merging per-stage snapshots yields exactly the
+// document one shared context would have produced. Output is sorted the
+// same way Histograms sorts.
+func MergeHists(snaps ...[]Hist) []Hist {
+	byName := map[string]*Hist{}
+	var names []string
+	for _, snap := range snaps {
+		for _, h := range snap {
+			m := byName[h.Name]
+			if m == nil {
+				c := h
+				c.Buckets = append([]HistBucket(nil), h.Buckets...)
+				byName[h.Name] = &c
+				names = append(names, h.Name)
+				continue
+			}
+			if h.Count > 0 {
+				if m.Count == 0 || h.Min < m.Min {
+					m.Min = h.Min
+				}
+				if m.Count == 0 || h.Max > m.Max {
+					m.Max = h.Max
+				}
+			}
+			m.Count += h.Count
+			m.Sum += h.Sum
+			for _, b := range h.Buckets {
+				merged := false
+				for i := range m.Buckets {
+					if m.Buckets[i].Lo == b.Lo {
+						m.Buckets[i].Count += b.Count
+						merged = true
+						break
+					}
+				}
+				if !merged {
+					m.Buckets = append(m.Buckets, b)
+				}
+			}
+		}
+	}
+	sort.Strings(names)
+	out := make([]Hist, 0, len(names))
+	for _, n := range names {
+		h := *byName[n]
+		sort.Slice(h.Buckets, func(i, j int) bool { return h.Buckets[i].Lo < h.Buckets[j].Lo })
+		out = append(out, h)
+	}
+	return out
+}

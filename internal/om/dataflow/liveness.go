@@ -1,0 +1,316 @@
+package dataflow
+
+import (
+	"atom/internal/alpha"
+	"atom/internal/obs"
+	"atom/internal/om"
+)
+
+// Backward may-liveness over the OM IR. A register is live at a point if
+// some execution path from that point reads its current value before
+// overwriting it; ATOM only needs to save a register around an analysis
+// call if it is live there AND the analysis routine may modify it.
+//
+// The analysis is interprocedural but deliberately summary-based, layered
+// the same way as ModifiedRegs: within a procedure a worklist fixpoint
+// runs over the CFG successor edges; across procedures each procedure
+// exports one entry summary (the live-in set of its first block), used at
+// every direct call (bsr) and cross-procedure branch that targets it.
+// Everything unresolvable is all-live:
+//
+//   - ret and jmp: the continuation (caller, jump table) is unknown;
+//   - jsr and call_pal: the callee is unknown, so it may read anything
+//     and the state of the world after it returns is unknowable here;
+//   - bsr or br into the middle of another procedure;
+//   - control falling off the end of a procedure.
+//
+// The only must-def the analysis exploits across calls is bsr writing ra:
+// neither the callee nor any post-return code can observe the caller's
+// pre-call ra, so ra is dead immediately before every resolved bsr.
+//
+// Starting every set at ∅ and growing to the least fixpoint is sound for
+// may-liveness: the result over-approximates nothing and misses no path,
+// because every transfer is monotone and the conservative cases inject
+// allLive wholesale.
+
+// allLive is every architecturally meaningful register: the caller-save
+// set shared with the modified-register summary plus the callee-save
+// registers (an unknown callee may read those too — it must, to save
+// them). The zero register has no state and is never live.
+var allLive = func() om.RegSet {
+	s := ConservativeCallerSave()
+	for r := alpha.Reg(0); r < alpha.NumRegs; r++ {
+		if r != alpha.Zero {
+			s = s.Add(r)
+		}
+	}
+	return s
+}()
+
+var raBit = om.RegSet(0).Add(alpha.RA)
+
+// Liveness holds the fixpoint solution for one program. Query with
+// LiveIn/LiveOut; instructions the analysis has not seen (not part of the
+// analyzed program) report everything live.
+type Liveness struct {
+	liveIn  map[*om.Inst]om.RegSet
+	liveOut map[*om.Inst]om.RegSet
+	entry   map[string]om.RegSet
+
+	// Rounds is the number of interprocedural iterations to convergence;
+	// Edges counts CFG successor-edge evaluations across all worklist
+	// passes.
+	Rounds int
+	Edges  int
+}
+
+// LiveIn returns the registers that may be read before being overwritten
+// on some path starting at in (in's own reads included).
+func (l *Liveness) LiveIn(in *om.Inst) om.RegSet {
+	if s, ok := l.liveIn[in]; ok {
+		return s
+	}
+	return allLive
+}
+
+// LiveOut returns the registers that may be read on some path starting
+// immediately after in.
+func (l *Liveness) LiveOut(in *om.Inst) om.RegSet {
+	if s, ok := l.liveOut[in]; ok {
+		return s
+	}
+	return allLive
+}
+
+// EntryLive returns the live-in summary at the named procedure's entry.
+func (l *Liveness) EntryLive(proc string) om.RegSet {
+	if s, ok := l.entry[proc]; ok {
+		return s
+	}
+	return allLive
+}
+
+// transfer is one composable backward step: liveIn = liveOut&mask | gen.
+// Every per-instruction effect has this shape — ordinary def/use
+// (mask=^def, gen=use), unknown call (mask=0, gen=allLive), resolved call
+// (mask=^{ra}, gen=calleeEntry\{ra}) — so whole-block transfers compose
+// into the same two words and the block fixpoint costs O(1) per visit.
+type transfer struct{ mask, gen om.RegSet }
+
+func (t transfer) apply(out om.RegSet) om.RegSet { return out&t.mask | t.gen }
+
+// compose returns f∘t: t applied to the block's live-out first, then f
+// (f is the transfer of the instruction ABOVE the ones t covers).
+func (t transfer) compose(f transfer) transfer {
+	return transfer{mask: t.mask & f.mask, gen: t.gen&f.mask | f.gen}
+}
+
+var identity = transfer{mask: allLive}
+
+// Compute runs the analysis over a program.
+func Compute(p *om.Program) *Liveness { return ComputeCtx(nil, p) }
+
+// ComputeCtx is Compute with a stage context: the fixpoint runs under an
+// "om.liveness" span annotated with the interprocedural round count and
+// the number of CFG edge evaluations, also published as the
+// "om.liveness.rounds" and "om.liveness.edges" counters.
+func ComputeCtx(ctx *obs.Ctx, p *om.Program) *Liveness {
+	_, sp := ctx.Start("om.liveness", obs.Int("procs", int64(len(p.Procs))))
+	defer sp.End()
+
+	procStart := map[uint64]int{}
+	for i, pr := range p.Procs {
+		procStart[pr.Addr] = i
+	}
+	entry := make([]om.RegSet, len(p.Procs))
+	// entryOf resolves a transfer target: the callee's current entry
+	// summary when addr starts a known procedure, unknown otherwise.
+	entryOf := func(addr uint64) (om.RegSet, bool) {
+		if i, ok := procStart[addr]; ok {
+			return entry[i], true
+		}
+		return allLive, false
+	}
+
+	lv := &Liveness{
+		liveIn:  make(map[*om.Inst]om.RegSet, p.NumInsts()),
+		liveOut: make(map[*om.Inst]om.RegSet, p.NumInsts()),
+		entry:   make(map[string]om.RegSet, len(p.Procs)),
+	}
+	in := make([][]om.RegSet, len(p.Procs)) // block live-in, kept across rounds
+	for i, pr := range p.Procs {
+		in[i] = make([]om.RegSet, len(pr.Blocks))
+	}
+
+	// Outer fixpoint over the entry summaries. Each round re-solves every
+	// procedure against the current summaries (warm-started from the last
+	// round); when a full round leaves every summary unchanged, every
+	// procedure was solved against the final summaries and the whole
+	// system is at its least fixpoint.
+	for changed := true; changed; {
+		changed = false
+		lv.Rounds++
+		for pi, pr := range p.Procs {
+			solveProc(pr, in[pi], entryOf, &lv.Edges)
+			var e om.RegSet
+			if len(pr.Blocks) > 0 {
+				e = in[pi][0]
+			}
+			if e != entry[pi] {
+				entry[pi] = e
+				changed = true
+			}
+		}
+	}
+
+	// Materialize per-instruction sets from the block solution.
+	for pi, pr := range p.Procs {
+		lv.entry[pr.Name] = entry[pi]
+		for bi, b := range pr.Blocks {
+			out := blockOut(pr, b, bi, in[pi], entryOf, &lv.Edges)
+			for k := len(b.Insts) - 1; k >= 0; k-- {
+				i := b.Insts[k]
+				lv.liveOut[i] = out
+				out = instTransfer(i, entryOf).apply(out)
+				lv.liveIn[i] = out
+			}
+		}
+	}
+
+	sp.SetAttr(
+		obs.Int("rounds", int64(lv.Rounds)),
+		obs.Int("edges", int64(lv.Edges)))
+	ctx.Count("om.liveness.rounds", int64(lv.Rounds))
+	ctx.Count("om.liveness.edges", int64(lv.Edges))
+	return lv
+}
+
+// solveProc runs the intra-procedure worklist to a fixpoint given the
+// current entry summaries. Every block is seeded (so unreachable blocks
+// get sound solutions too), visited in reverse layout order first, and
+// re-queued via predecessor edges when its live-in grows.
+func solveProc(pr *om.Proc, in []om.RegSet, entryOf func(uint64) (om.RegSet, bool), edges *int) {
+	n := len(pr.Blocks)
+	if n == 0 {
+		return
+	}
+	trans := make([]transfer, n)
+	for bi, b := range pr.Blocks {
+		trans[bi] = blockTransfer(b, entryOf)
+	}
+	preds := make([][]int, n)
+	for bi, b := range pr.Blocks {
+		for _, s := range b.Succs {
+			if si := s.Index; si >= 0 && si < n && pr.Blocks[si] == s {
+				preds[si] = append(preds[si], bi)
+			}
+		}
+	}
+	onList := make([]bool, n)
+	work := make([]int, 0, n)
+	for bi := 0; bi < n; bi++ {
+		work = append(work, bi) // popped from the tail: reverse order first
+		onList[bi] = true
+	}
+	for len(work) > 0 {
+		bi := work[len(work)-1]
+		work = work[:len(work)-1]
+		onList[bi] = false
+		nin := trans[bi].apply(blockOut(pr, pr.Blocks[bi], bi, in, entryOf, edges))
+		if nin != in[bi] {
+			in[bi] = nin
+			for _, pi := range preds[bi] {
+				if !onList[pi] {
+					work = append(work, pi)
+					onList[pi] = true
+				}
+			}
+		}
+	}
+}
+
+// blockOut computes a block's live-out: the union of its successor
+// blocks' live-ins plus the conservative contribution of any control
+// transfer its CFG edges do not represent (returns, indirect jumps,
+// cross-procedure branches, falling off the procedure).
+func blockOut(pr *om.Proc, b *om.Block, bi int, in []om.RegSet, entryOf func(uint64) (om.RegSet, bool), edges *int) om.RegSet {
+	var out om.RegSet
+	for _, s := range b.Succs {
+		*edges++
+		if si := s.Index; si >= 0 && si < len(pr.Blocks) && pr.Blocks[si] == s {
+			out = out.Union(in[si])
+		} else {
+			out = allLive // edge into another procedure: malformed IR
+		}
+	}
+	if len(b.Insts) == 0 {
+		return out
+	}
+	// cont is the contribution of a transfer to addr that may not have a
+	// CFG edge: nothing if an edge covers it, the callee's entry summary
+	// for a procedure start, everything otherwise.
+	cont := func(addr uint64) om.RegSet {
+		for _, s := range b.Succs {
+			if len(s.Insts) > 0 && s.Insts[0].Addr == addr {
+				return 0
+			}
+		}
+		if e, known := entryOf(addr); known {
+			return e
+		}
+		return allLive
+	}
+	last := b.Insts[len(b.Insts)-1]
+	op := last.I.Op
+	switch {
+	case op == alpha.OpRet || op == alpha.OpJmp:
+		return allLive
+	case op.IsCondBranch():
+		target := last.Addr + 4 + uint64(int64(last.I.Disp)*4)
+		return out.Union(cont(target)).Union(cont(last.Addr + 4))
+	case op == alpha.OpBr:
+		target := last.Addr + 4 + uint64(int64(last.I.Disp)*4)
+		return out.Union(cont(target))
+	default:
+		return out.Union(cont(last.Addr + 4))
+	}
+}
+
+// blockTransfer composes the block's instruction transfers bottom-up.
+func blockTransfer(b *om.Block, entryOf func(uint64) (om.RegSet, bool)) transfer {
+	t := identity
+	for k := len(b.Insts) - 1; k >= 0; k-- {
+		t = t.compose(instTransfer(b.Insts[k], entryOf))
+	}
+	return t
+}
+
+// instTransfer is the backward transfer of one instruction.
+func instTransfer(in *om.Inst, entryOf func(uint64) (om.RegSet, bool)) transfer {
+	switch in.I.Op {
+	case alpha.OpJsr, alpha.OpCallPal:
+		// Unknown callee: it may read anything, and nothing about the
+		// pre-call state can be inferred from what happens after it.
+		return transfer{mask: 0, gen: allLive}
+	case alpha.OpBsr:
+		target := in.Addr + 4 + uint64(int64(in.I.Disp)*4)
+		e, known := entryOf(target)
+		if !known {
+			return transfer{mask: 0, gen: allLive}
+		}
+		// Resolved direct call: the callee reads its entry summary, and
+		// whatever outlives the return passes through — except ra, which
+		// the bsr itself must-defines, so no one downstream can observe
+		// the caller's pre-call value.
+		return transfer{mask: allLive &^ raBit, gen: e &^ raBit}
+	}
+	var use om.RegSet
+	for _, r := range in.I.ReadsRegs(nil) {
+		use = use.Add(r)
+	}
+	mask := allLive
+	if w, ok := in.I.WritesReg(); ok {
+		mask &^= om.RegSet(0).Add(w)
+	}
+	return transfer{mask: mask, gen: use}
+}

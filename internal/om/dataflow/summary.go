@@ -1,69 +1,49 @@
-package om
+// Package dataflow implements reusable register data-flow passes over the
+// OM intermediate representation: the interprocedural modified-register
+// summary ATOM uses to size wrapper save sets (paper, Section 4,
+// "Reducing Procedure Call Overhead") and the backward register-liveness
+// analysis that refines per-site save sets to live ∩ modified — the
+// refinement the paper names as the natural next step ("Only the live
+// registers need to be saved and restored to preserve the state of the
+// program execution").
+//
+// Both passes share one model of the unknown: a call whose callee cannot
+// be resolved (jsr, bsr into the middle of another procedure) clobbers —
+// and may read — ConservativeCallerSave. Keeping that set in one place
+// guarantees the two analyses cannot drift apart: a register the summary
+// assumes clobbered by an indirect call is exactly a register the
+// liveness pass keeps alive across one.
+package dataflow
 
 import (
 	"atom/internal/alpha"
 	"atom/internal/obs"
+	"atom/internal/om"
 )
 
-// RegSet is a set of integer registers, one bit per register.
-type RegSet uint32
-
-// Add returns the set with r included.
-func (s RegSet) Add(r alpha.Reg) RegSet { return s | 1<<uint(r) }
-
-// Has reports whether r is in the set.
-func (s RegSet) Has(r alpha.Reg) bool { return s&(1<<uint(r)) != 0 }
-
-// Union returns the union of two sets.
-func (s RegSet) Union(o RegSet) RegSet { return s | o }
-
-// Count returns the number of registers in the set.
-func (s RegSet) Count() int {
-	n := 0
-	for r := alpha.Reg(0); r < alpha.NumRegs; r++ {
-		if s.Has(r) {
-			n++
-		}
-	}
-	return n
-}
-
-// Regs returns the registers in ascending order.
-func (s RegSet) Regs() []alpha.Reg {
-	var out []alpha.Reg
-	for r := alpha.Reg(0); r < alpha.NumRegs; r++ {
-		if s.Has(r) {
-			out = append(out, r)
-		}
-	}
-	return out
-}
-
-// AllCallerSave is the set of every caller-save register.
-func AllCallerSave() RegSet {
-	var s RegSet
-	for _, r := range alpha.CallerSaveRegs() {
-		s = s.Add(r)
-	}
-	return s
-}
+// ConservativeCallerSave is the register set assumed clobbered by — and
+// readable from — a call whose callee is unknown: every caller-save
+// register. The modified-register summary and the liveness analysis both
+// derive their unknown-callee behavior from this single definition; a
+// test pins it against om.AllCallerSave.
+func ConservativeCallerSave() om.RegSet { return om.AllCallerSave() }
 
 // ModifiedRegs computes, for every procedure, the set of caller-save
 // registers that may be modified when control reaches it — the data-flow
 // summary information ATOM uses to minimize register saves around calls
 // into analysis routines (paper, Section 4, "Reducing Procedure Call
 // Overhead"). The analysis is an interprocedural fixpoint over the call
-// graph; indirect calls (jsr) are assumed to clobber every caller-save
-// register, and CALL_PAL services clobber v0.
-func (p *Program) ModifiedRegs() map[string]RegSet { return p.ModifiedRegsCtx(nil) }
+// graph; indirect calls (jsr) are assumed to clobber
+// ConservativeCallerSave, and CALL_PAL services clobber v0.
+func ModifiedRegs(p *om.Program) map[string]om.RegSet { return ModifiedRegsCtx(nil, p) }
 
 // ModifiedRegsCtx is ModifiedRegs with a stage context: the fixpoint runs
 // under an "om.summary" span annotated with the number of iterations the
 // call-graph propagation took to converge.
-func (p *Program) ModifiedRegsCtx(ctx *obs.Ctx) map[string]RegSet {
+func ModifiedRegsCtx(ctx *obs.Ctx, p *om.Program) map[string]om.RegSet {
 	_, sp := ctx.Start("om.summary", obs.Int("procs", int64(len(p.Procs))))
 	defer sp.End()
-	direct := make([]RegSet, len(p.Procs))
+	direct := make([]om.RegSet, len(p.Procs))
 	calls := make([][]int, len(p.Procs)) // proc index -> callee proc indices
 	anyIndirect := make([]bool, len(p.Procs))
 
@@ -83,7 +63,7 @@ func (p *Program) ModifiedRegsCtx(ctx *obs.Ctx) map[string]RegSet {
 					target := in.Addr + 4 + uint64(int64(in.I.Disp)*4)
 					if ti, ok := procIdxAt[target]; ok {
 						calls[i] = append(calls[i], ti)
-					} else if t, ok2 := p.instAt[target]; ok2 && t.block.proc != pr {
+					} else if t := p.InstAt(target); t != nil && t.Proc() != pr {
 						// bsr into the middle of another procedure:
 						// treat conservatively.
 						anyIndirect[i] = true
@@ -96,8 +76,8 @@ func (p *Program) ModifiedRegsCtx(ctx *obs.Ctx) map[string]RegSet {
 					// A cross-procedure br is a tail transfer; treat the
 					// target procedure as a callee.
 					target := in.Addr + 4 + uint64(int64(in.I.Disp)*4)
-					if t, ok := p.instAt[target]; ok && t.block.proc != pr {
-						if ti, ok2 := procIdxAt[t.block.proc.Addr]; ok2 {
+					if t := p.InstAt(target); t != nil && t.Proc() != pr {
+						if ti, ok := procIdxAt[t.Proc().Addr]; ok {
 							calls[i] = append(calls[i], ti)
 						}
 					}
@@ -106,9 +86,9 @@ func (p *Program) ModifiedRegsCtx(ctx *obs.Ctx) map[string]RegSet {
 		}
 	}
 
-	mod := make([]RegSet, len(p.Procs))
+	mod := make([]om.RegSet, len(p.Procs))
 	copy(mod, direct)
-	all := AllCallerSave()
+	all := ConservativeCallerSave()
 	for i := range mod {
 		if anyIndirect[i] {
 			mod[i] = all
@@ -131,7 +111,7 @@ func (p *Program) ModifiedRegsCtx(ctx *obs.Ctx) map[string]RegSet {
 	}
 	sp.SetAttr(obs.Int("rounds", int64(rounds)))
 
-	out := make(map[string]RegSet, len(p.Procs))
+	out := make(map[string]om.RegSet, len(p.Procs))
 	for i, pr := range p.Procs {
 		out[pr.Name] = mod[i]
 	}

@@ -290,56 +290,6 @@ func TestPCMaps(t *testing.T) {
 	}
 }
 
-func TestModifiedRegsSummary(t *testing.T) {
-	exe := buildSample(t, `
-long leaf_light(long a) { return a + 1; }
-long leaf_heavy(long a) {
-	long x1 = a * 3;
-	long x2 = x1 * 5;
-	long x3 = x2 * 7;
-	long x4 = x3 * 11 + x1 * x2;
-	return x4 - x3 * x2 + x1 * (x4 + 13);
-}
-long caller(long a) { return leaf_light(a) + 1; }
-int main() { return caller(leaf_heavy(1)); }
-`)
-	prog, err := om.Build(exe)
-	if err != nil {
-		t.Fatal(err)
-	}
-	mod := prog.ModifiedRegs()
-	light := mod["leaf_light"]
-	heavy := mod["leaf_heavy"]
-	caller := mod["caller"]
-	if light == 0 || heavy == 0 {
-		t.Fatal("summaries empty")
-	}
-	// Every summarized register is caller-save.
-	for _, r := range light.Union(heavy).Union(caller).Regs() {
-		if !r.IsCallerSave() {
-			t.Errorf("summary contains callee-save register %s", r)
-		}
-	}
-	// A caller's summary includes its callee's.
-	if caller.Union(light) != caller {
-		t.Errorf("caller summary %v does not include callee %v", caller.Regs(), light.Regs())
-	}
-	// v0 is modified by any value-returning routine.
-	if !light.Has(alpha.V0) {
-		t.Error("leaf_light summary lacks v0")
-	}
-	// The whole-program entry reaches printf-free code only; sanity: main
-	// exists.
-	if _, ok := mod["main"]; !ok {
-		t.Error("main missing from summary")
-	}
-	// A procedure using jsr (none here) would be all caller-save; check
-	// the helper itself.
-	if om.AllCallerSave().Count() != 22 {
-		t.Errorf("AllCallerSave = %d regs, want 22", om.AllCallerSave().Count())
-	}
-}
-
 func TestBuildErrors(t *testing.T) {
 	exe := buildSample(t, sampleProgram)
 	// Unlinked input.

@@ -1,0 +1,46 @@
+package om
+
+import "atom/internal/alpha"
+
+// RegSet is a set of integer registers, one bit per register.
+type RegSet uint32
+
+// Add returns the set with r included.
+func (s RegSet) Add(r alpha.Reg) RegSet { return s | 1<<uint(r) }
+
+// Has reports whether r is in the set.
+func (s RegSet) Has(r alpha.Reg) bool { return s&(1<<uint(r)) != 0 }
+
+// Union returns the union of two sets.
+func (s RegSet) Union(o RegSet) RegSet { return s | o }
+
+// Count returns the number of registers in the set.
+func (s RegSet) Count() int {
+	n := 0
+	for r := alpha.Reg(0); r < alpha.NumRegs; r++ {
+		if s.Has(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// Regs returns the registers in ascending order.
+func (s RegSet) Regs() []alpha.Reg {
+	var out []alpha.Reg
+	for r := alpha.Reg(0); r < alpha.NumRegs; r++ {
+		if s.Has(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// AllCallerSave is the set of every caller-save register.
+func AllCallerSave() RegSet {
+	var s RegSet
+	for _, r := range alpha.CallerSaveRegs() {
+		s = s.Add(r)
+	}
+	return s
+}
