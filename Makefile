@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race benchsmoke tracesmoke profsmoke vetsmoke bench ci
+.PHONY: all build fmt vet test race benchsmoke tracesmoke profsmoke vetsmoke inlinesmoke bench ci
 
 all: build
 
@@ -61,8 +61,29 @@ vetsmoke:
 		$$tmp/atom -vet -t $$t -o $$tmp/smoke.$$t.atom $$tmp/smoke.x || exit 1; \
 	done
 
+# Inliner gate: every tool verifies under -vet with the inliner both on
+# (the default) and off, and the examples produce identical program and
+# analysis output with and without -noinline (the "instrumented:" size
+# line legitimately differs, so it is filtered).
+inlinesmoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	printf '#include <stdio.h>\nint main() { printf("ok\\n"); return 0; }\n' > $$tmp/smoke.c; \
+	$(GO) run ./cmd/minicc -o $$tmp/smoke.o $$tmp/smoke.c; \
+	$(GO) run ./cmd/alink -o $$tmp/smoke.x $$tmp/smoke.o; \
+	$(GO) build -o $$tmp/atom ./cmd/atom; \
+	for t in $$($$tmp/atom -list | awk '{print $$1}'); do \
+		$$tmp/atom -vet -t $$t -o $$tmp/smoke.$$t.on.atom $$tmp/smoke.x || exit 1; \
+		$$tmp/atom -vet -noinline -t $$t -o $$tmp/smoke.$$t.off.atom $$tmp/smoke.x || exit 1; \
+	done; \
+	$(GO) run ./examples/quickstart | grep -v '^instrumented:' > $$tmp/q.on; \
+	$(GO) run ./examples/quickstart -noinline | grep -v '^instrumented:' > $$tmp/q.off; \
+	cmp $$tmp/q.on $$tmp/q.off; \
+	$(GO) run ./examples/cachesim > $$tmp/c.on; \
+	$(GO) run ./examples/cachesim -noinline > $$tmp/c.off; \
+	cmp $$tmp/c.on $$tmp/c.off
+
 # Real measurements (slow); see EXPERIMENTS.md for recorded numbers.
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-ci: fmt vet build race benchsmoke tracesmoke profsmoke vetsmoke
+ci: fmt vet build race benchsmoke tracesmoke profsmoke vetsmoke inlinesmoke

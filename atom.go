@@ -61,6 +61,13 @@ func WithLiveness(on bool) Option { return core.WithLiveness(on) }
 // after emission; any diagnostic aborts with original-PC locations.
 func WithVerify(on bool) Option { return core.WithVerify(on) }
 
+// WithInlining enables (the default) or disables the analysis-routine
+// inliner, which splices short leaf analysis routines directly into
+// their call sites — no call, no wrapper, save set reduced to
+// live ∩ clobbered-by-body. WithInlining(false) restores the paper's
+// always-call behavior, for ablation.
+func WithInlining(on bool) Option { return core.WithInlining(on) }
+
 // Result is the outcome of Instrument; see core.Result.
 type Result = core.Result
 

@@ -268,6 +268,55 @@ func BenchmarkLiveness(b *testing.B) {
 	}
 }
 
+// BenchmarkInline ablates the analysis-routine inliner: per-tool, the
+// instrumented/uninstrumented instruction ratio, registers saved per
+// site, and call sites inlined with splicing on (default) and off. The
+// tools whose per-event routines classify as inlinable leaves — gprof,
+// prof, pipe — drop the bsr/ret pair, the wrapper transit, and the ra
+// save at every spliced site, so their dynamic instruction counts fall
+// well past the 10% acceptance bar; tools whose routines are too large
+// (cache, branch) are unchanged by construction.
+func BenchmarkInline(b *testing.B) {
+	for _, tname := range []string{"gprof", "prof", "pipe", "inline"} {
+		tname := tname
+		tool, _ := tools.ByName(tname)
+		for _, c := range []struct {
+			name string
+			opts core.Options
+		}{
+			{"on", core.Options{}},
+			{"off", core.Options{NoInline: true}},
+		} {
+			c := c
+			b.Run(tname+"/"+c.name, func(b *testing.B) {
+				exe, err := spec.Build("queens")
+				if err != nil {
+					b.Fatal(err)
+				}
+				var ratio float64
+				var saved, sites, inlined int
+				for i := 0; i < b.N; i++ {
+					res, err := core.Instrument(exe, tool, c.opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					saved, sites, inlined = res.Stats.SavedRegs, res.Stats.Calls, res.Stats.InlinedSites
+					r, err := figures.RatioFor(tname, "queens", c.opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ratio = r
+				}
+				b.ReportMetric(ratio, "ratio")
+				if sites > 0 {
+					b.ReportMetric(float64(saved)/float64(sites), "regs/site")
+				}
+				b.ReportMetric(float64(inlined), "inlined")
+			})
+		}
+	}
+}
+
 // BenchmarkScheduler measures pipe's static dual-issue scheduling (the
 // work that makes pipe the slowest tool to instrument with in Figure 5).
 func BenchmarkScheduler(b *testing.B) {

@@ -47,3 +47,18 @@ go build -o "$tmp/atom" ./cmd/atom
 for t in $("$tmp/atom" -list | awk '{print $1}'); do
     "$tmp/atom" -vet -t "$t" -o "$tmp/smoke.$t.atom" "$tmp/smoke.x"
 done
+
+# Inline gate: every tool verifies under -vet with the inliner both on
+# (the default, checked just above) and off, and the examples must
+# produce identical program and analysis output with and without
+# -noinline (the "instrumented:" size line legitimately differs between
+# modes, so it is filtered before comparing).
+for t in $("$tmp/atom" -list | awk '{print $1}'); do
+    "$tmp/atom" -vet -noinline -t "$t" -o "$tmp/smoke.$t.noinline.atom" "$tmp/smoke.x"
+done
+go run ./examples/quickstart | grep -v '^instrumented:' > "$tmp/q.on"
+go run ./examples/quickstart -noinline | grep -v '^instrumented:' > "$tmp/q.off"
+cmp "$tmp/q.on" "$tmp/q.off"
+go run ./examples/cachesim > "$tmp/c.on"
+go run ./examples/cachesim -noinline > "$tmp/c.off"
+cmp "$tmp/c.on" "$tmp/c.off"

@@ -69,6 +69,8 @@ func run() (code int) {
 		heapOff       = flag.Uint64("heap", 0, "partition the heap: analysis zone offset in bytes (0 = linked sbrks)")
 		noSummary     = flag.Bool("nosummary", false, "disable the data-flow register summary (save all caller-save registers)")
 		noLiveness    = flag.Bool("noliveness", false, "disable the register-liveness analysis (save registers without regard to liveness)")
+		noInline      = flag.Bool("noinline", false, "disable analysis-routine inlining (always call through the register-save wrapper)")
+		inlineLimit   = flag.Int("inline-limit", 0, "largest analysis-routine body to inline, in instructions (0 = default)")
 		vet           = flag.Bool("vet", false, "verify the OM IR before instrumentation and the PC maps and rewritten text after")
 		jobs          = flag.Int("j", 1, "instrument up to N input programs in parallel (0 = GOMAXPROCS)")
 		list          = flag.Bool("list", false, "list the built-in tools")
@@ -141,7 +143,14 @@ func run() (code int) {
 			return fail(fmt.Errorf("unknown tool %q; try -list", *toolName))
 		}
 	}
-	opts := core.Options{HeapOffset: *heapOff, NoRegSummary: *noSummary, NoLiveness: *noLiveness, Verify: *vet}
+	opts := core.Options{
+		HeapOffset:   *heapOff,
+		NoRegSummary: *noSummary,
+		NoLiveness:   *noLiveness,
+		NoInline:     *noInline,
+		InlineLimit:  *inlineLimit,
+		Verify:       *vet,
+	}
 	switch *mode {
 	case "wrapper":
 		opts.Mode = core.SaveWrapper
@@ -301,6 +310,7 @@ func run() (code int) {
 			}
 			s := res.Stats
 			fmt.Printf("call sites instrumented: %d\n", s.Calls)
+			fmt.Printf("call sites inlined:      %d\n", s.InlinedSites)
 			fmt.Printf("instructions inserted:   %d\n", s.InsertedInsts)
 			fmt.Printf("application text:        %d -> %d bytes\n", s.OrigText, s.InstrText)
 			fmt.Printf("analysis image:          %d text + %d data bytes\n", s.AnalysisText, s.AnalysisData)
@@ -339,6 +349,7 @@ func run() (code int) {
 		for _, c := range ctx.Counters() {
 			doc.Counters = append(doc.Counters, figures.BenchCounter{Name: c.Name, Value: c.Value})
 		}
+		doc.Inline = inlineBlock(ctx)
 		doc.Hists = figures.Histograms(ctx.Histograms())
 		if err := figures.WriteRunJSON(*benchJSON, doc); err != nil {
 			return fail(err)
@@ -466,6 +477,7 @@ func runUnderVM(ctx *obs.Ctx, metricsSink *obs.MetricsSink, rc runConfig) int {
 		for _, c := range ctx.Counters() {
 			doc.Counters = append(doc.Counters, figures.BenchCounter{Name: c.Name, Value: c.Value})
 		}
+		doc.Inline = inlineBlock(ctx)
 		doc.Hists = figures.Histograms(ctx.Histograms())
 		if err := figures.WriteRunJSON(rc.benchJSON, doc); err != nil {
 			fmt.Fprintln(os.Stderr, "atom:", err)
@@ -495,6 +507,26 @@ func writeProfile(p *prof.Profiler, path, format string) error {
 }
 
 func msOf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// inlineBlock extracts the inliner's site counters for the bench JSON
+// document (schema atom-run/v2). Nil when no instrumentation ran, so
+// plain -run documents stay free of a meaningless zero block.
+func inlineBlock(ctx *obs.Ctx) *figures.BenchInline {
+	var blk figures.BenchInline
+	found := false
+	for _, c := range ctx.Counters() {
+		switch c.Name {
+		case "atom.sites_inlined":
+			blk.SitesInlined, found = c.Value, true
+		case "atom.sites_called":
+			blk.SitesCalled, found = c.Value, true
+		}
+	}
+	if !found {
+		return nil
+	}
+	return &blk
+}
 
 // checkTrace validates a -trace output file: well-formed Chrome
 // trace_event JSON, non-empty, and covering the pipeline stages a cold

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -41,6 +42,9 @@ int main() {
 `
 
 func main() {
+	noInline := flag.Bool("noinline", false, "disable the analysis-routine inliner")
+	flag.Parse()
+
 	app, err := atom.BuildProgram(map[string]string{"matrix.c": workload})
 	check(err)
 	tool, err := atom.ToolByName("cache")
@@ -51,7 +55,7 @@ func main() {
 	for _, size := range []int{1 << 10, 4 << 10, 8 << 10, 16 << 10, 64 << 10, 256 << 10} {
 		res, err := atom.Instrument(app, tool, atom.Options{
 			ToolArgs: []string{strconv.Itoa(size), "32"},
-		})
+		}, atom.WithInlining(!*noInline))
 		check(err)
 		out, err := atom.RunProgram(res.Exe, atom.RunConfig{AnalysisHeapOffset: res.HeapOffset})
 		check(err)

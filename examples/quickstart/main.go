@@ -9,6 +9,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -76,6 +77,9 @@ void CloseFile(void) {
 `
 
 func main() {
+	noInline := flag.Bool("noinline", false, "disable the analysis-routine inliner")
+	flag.Parse()
+
 	// Step 0: build the application ("user application" + "standard
 	// linker" boxes of Figure 1).
 	app, err := atom.BuildProgram(map[string]string{"app.c": application})
@@ -120,7 +124,7 @@ func main() {
 	}
 
 	// Step 1+2 of Figure 1: build the custom tool and apply it.
-	res, err := atom.Instrument(app, tool, atom.Options{})
+	res, err := atom.Instrument(app, tool, atom.Options{}, atom.WithInlining(!*noInline))
 	check(err)
 	fmt.Printf("instrumented: %d call sites, text %d -> %d bytes\n\n",
 		res.Stats.Calls, res.Stats.OrigText, res.Stats.InstrText)

@@ -104,6 +104,16 @@ type Options struct {
 	// liveness on — is the default; set it (or use WithLiveness(false))
 	// for ablation.
 	NoLiveness bool
+	// NoInline disables the analysis-routine inliner. By default (the
+	// zero value) short leaf analysis routines are spliced directly into
+	// their call sites — no bsr/ret, no wrapper, site save set reduced
+	// to live ∩ clobbered-by-body. Set it (or use WithInlining(false))
+	// to always call through the wrapper, as the paper does.
+	NoInline bool
+	// InlineLimit caps the inlined body size in original instructions;
+	// zero means DefaultInlineLimit. Routines above the cap are called
+	// normally.
+	InlineLimit int
 	// Verify runs the IR verifier (om.Verify) over the application before
 	// rewriting and re-verifies the layout PC maps and the emitted text
 	// afterwards, failing the run on any diagnostic (cmd/atom -vet).
@@ -126,9 +136,17 @@ func WithLiveness(on bool) Option { return func(o *Options) { o.NoLiveness = !on
 // cmd/atom -vet and the test suite turn it on).
 func WithVerify(on bool) Option { return func(o *Options) { o.Verify = on } }
 
+// WithInlining toggles the analysis-routine inliner, which splices short
+// leaf analysis routines directly into their call sites instead of
+// calling them through a register-save wrapper. It is on by default;
+// WithInlining(false) restores the paper's always-call behavior for
+// ablation and debugging.
+func WithInlining(on bool) Option { return func(o *Options) { o.NoInline = !on } }
+
 // Stats reports what an instrumentation run did.
 type Stats struct {
 	Calls         int    // inserted call sites
+	InlinedSites  int    // call sites whose analysis routine was inlined
 	InsertedInsts int    // total spliced instructions in the application
 	SavedRegs     int    // registers saved at call sites, summed over sites
 	OrigText      uint64 // application text before instrumentation
@@ -321,10 +339,28 @@ func applyPlan(ctx *obs.Ctx, app *aout.File, q *Instrumentation, ti *ToolImage, 
 		}
 	}
 
+	// Inlining applies per plan, not per image: the cached image always
+	// carries the templates, and the limit/off switches are free to vary
+	// without invalidating it. SaveInAnalysis already splices saves into
+	// the routines themselves, which an inlined copy would duplicate, so
+	// the inliner only runs in the (default) wrapper mode.
+	inlineOK := !opts.NoInline && opts.Mode == SaveWrapper
+	limit := opts.InlineLimit
+	if limit == 0 {
+		limit = DefaultInlineLimit
+	}
+
+	var sitesInlined, sitesCalled int64
 	stats := Stats{Calls: len(q.journal), OrigText: uint64(len(app.Text))}
 	for _, req := range ordered {
 		target := req.proto.Name
-		if opts.Mode == SaveWrapper {
+		var tmpl *inlineTemplate
+		if inlineOK {
+			if t := ti.inline[target]; t != nil && t.bodyLen <= limit {
+				tmpl = t
+			}
+		}
+		if tmpl == nil && opts.Mode == SaveWrapper {
 			target = WrapperName(target)
 		}
 		var dead om.RegSet
@@ -341,9 +377,16 @@ func applyPlan(ctx *obs.Ctx, app *aout.File, q *Instrumentation, ti *ToolImage, 
 		case opts.LiveRegOpt:
 			dead = deadAtSite(req.inst, req.place)
 		}
-		code, nsaved, err := buildSite(req, target, dead)
+		code, nsaved, err := buildSite(req, target, dead, tmpl)
 		if err != nil {
 			return nil, err
+		}
+		if tmpl != nil {
+			sitesInlined++
+			stats.InlinedSites++
+			ctx.Observe("atom.inline_body_len", int64(len(tmpl.insts)))
+		} else {
+			sitesCalled++
 		}
 		stats.InsertedInsts += len(code.Insts)
 		stats.SavedRegs += nsaved
@@ -382,6 +425,9 @@ func applyPlan(ctx *obs.Ctx, app *aout.File, q *Instrumentation, ti *ToolImage, 
 		constAddr[i] = imgEnd
 		imgEnd += uint64(len(c.data))
 	}
+	// The blobs land inside the composed text segment, whose byte length
+	// must stay word-aligned or the written executable won't reload.
+	imgEnd = (imgEnd + 7) &^ 7
 
 	stats.AnalysisText = uint64(len(img.Text))
 	stats.AnalysisData = imgEnd - img.DataAddr
@@ -405,6 +451,10 @@ func applyPlan(ctx *obs.Ctx, app *aout.File, q *Instrumentation, ti *ToolImage, 
 	for i, c := range q.consts {
 		globals[c.label] = constAddr[i]
 	}
+	// Inlined bodies express their address constants as base+offset
+	// against the rebased image's text base (Rebase shifts text, data
+	// and bss rigidly, so one base covers every section).
+	globals[inlineBaseSym] = img.TextAddr
 	res, err := lay.FinishCtx(actx, func(name string) (uint64, bool) {
 		v, ok := globals[name]
 		return v, ok
@@ -456,6 +506,8 @@ func applyPlan(ctx *obs.Ctx, app *aout.File, q *Instrumentation, ti *ToolImage, 
 		obs.Int("sites", int64(stats.Calls)),
 		obs.Int("inserted_insts", int64(stats.InsertedInsts)))
 	ctx.Count("atom.sites", int64(stats.Calls))
+	ctx.Count("atom.sites_inlined", sitesInlined)
+	ctx.Count("atom.sites_called", sitesCalled)
 	ctx.Count("atom.bytes_marshalled", int64(len(out.Text)+len(out.Data)))
 	return &Result{Exe: out, HeapOffset: opts.HeapOffset, PCMap: lay, Stats: stats}, nil
 }

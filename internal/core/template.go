@@ -41,7 +41,12 @@ type siteBuilder struct {
 	clobbered om.RegSet // argument registers already overwritten
 }
 
-func buildSite(req *callReq, target string, dead om.RegSet) (om.Code, int, error) {
+// buildSite generates the spliced code for one call site. When tmpl is
+// non-nil the analysis routine's body is spliced in place of the bsr
+// (the wrapper and the call/return disappear entirely); the save set
+// then starts from the registers the body may actually clobber instead
+// of assuming a full call.
+func buildSite(req *callReq, target string, dead om.RegSet, tmpl *inlineTemplate) (om.Code, int, error) {
 	b := &siteBuilder{req: req, target: target, slot: map[alpha.Reg]int64{}}
 
 	nargs := len(req.args)
@@ -51,11 +56,18 @@ func buildSite(req *callReq, target string, dead om.RegSet) (om.Code, int, error
 	}
 	b.outBytes = int64(nargs-nreg) * 8
 
-	// Decide the save set: ra is always saved ("the return address
-	// register is always modified when a call is made so we always save
-	// the return address register"); every argument register this site
-	// writes; and at when the template needs a scratch register.
-	b.saved = b.saved.Add(alpha.RA)
+	// Decide the save set. For a call: ra is always saved ("the return
+	// address register is always modified when a call is made so we
+	// always save the return address register"); every argument register
+	// this site writes; and at when the template needs a scratch
+	// register. For an inlined body there is no call — the candidates
+	// are the written argument registers, at, and the body's clobber
+	// set; ra is saved only if the body itself clobbers it.
+	if tmpl == nil {
+		b.saved = b.saved.Add(alpha.RA)
+	} else {
+		b.saved |= tmpl.clobbers
+	}
 	argRegs := alpha.ArgRegs()
 	for i := 0; i < nreg; i++ {
 		b.saved = b.saved.Add(argRegs[i])
@@ -123,10 +135,23 @@ func buildSite(req *callReq, target string, dead om.RegSet) (om.Code, int, error
 		b.clobbered = b.clobbered.Add(argRegs[i])
 	}
 
-	// The call. A PC-relative bsr reaches the analysis image, which ATOM
-	// places directly after the instrumented text; Finish range-checks.
-	b.relocs = append(b.relocs, om.CodeReloc{Index: len(b.insts), Type: aout.RelBr21, Sym: target})
-	b.emit(alpha.Br(alpha.OpBsr, alpha.RA, 0))
+	if tmpl != nil {
+		// The inlined body in place of the call. Its internal branches
+		// are template-relative (re-encoded at extraction), so the splice
+		// is position-independent; its address constants carry CodeRelocs
+		// against the analysis image base, offset to site indices here.
+		base := len(b.insts)
+		for _, r := range tmpl.relocs {
+			r.Index += base
+			b.relocs = append(b.relocs, r)
+		}
+		b.insts = append(b.insts, tmpl.insts...)
+	} else {
+		// The call. A PC-relative bsr reaches the analysis image, which ATOM
+		// places directly after the instrumented text; Finish range-checks.
+		b.relocs = append(b.relocs, om.CodeReloc{Index: len(b.insts), Type: aout.RelBr21, Sym: target})
+		b.emit(alpha.Br(alpha.OpBsr, alpha.RA, 0))
+	}
 
 	// Epilogue: restore, deallocate.
 	for _, r := range b.saved.Regs() {

@@ -42,6 +42,13 @@ type ToolImage struct {
 	// called analysis procedure against these.
 	hasProc  map[string]bool
 	isGlobal map[string]bool
+
+	// inline holds a splice-ready template for every analysis procedure
+	// that classified as inlinable (wrapper mode only). Templates are
+	// extracted unconditionally — whether a site uses one is decided per
+	// plan by Options.NoInline/InlineLimit, so the cache key is
+	// unaffected.
+	inline map[string]*inlineTemplate
 }
 
 // ToolName returns the name of the tool the image was built for.
@@ -344,8 +351,23 @@ func buildToolImage(ctx *obs.Ctx, tool Tool, opts Options, protos map[string]*Pr
 		return nil, err
 	}
 	ti.img = img
+
+	// Classify the defined analysis procedures for inlining, from the
+	// FINAL image (post-sbrk-redirection, so templates carry the patched
+	// text). SaveInAnalysis images have save/restore code spliced into
+	// the routines themselves, which an inlined copy would duplicate;
+	// only the wrapper-mode image grows templates.
+	if opts.Mode == SaveWrapper {
+		fprog, err := om.BuildCtx(ictx, img)
+		if err != nil {
+			return nil, fmt.Errorf("atom: analysis image (final): %w", err)
+		}
+		ti.inline = extractInlineTemplates(fprog, img, defined, summary)
+	}
+
 	isp.SetAttr(
 		obs.Int("text_bytes", int64(len(img.Text))),
-		obs.Int("data_bytes", int64(len(img.Data))))
+		obs.Int("data_bytes", int64(len(img.Data))),
+		obs.Int("inlinable_procs", int64(len(ti.inline))))
 	return ti, nil
 }

@@ -113,15 +113,25 @@ func WriteBenchJSON(path string, fig5 []Fig5Row, fig6 []Fig6Row, hists []obs.His
 // writes: one instrument-mode run with its per-phase breakdown and cache
 // statistics.
 type RunDoc struct {
-	Schema   string           `json:"schema"` // "atom-run/v1"
+	Schema   string           `json:"schema"` // "atom-run/v2"
 	Tool     string           `json:"tool"`
 	Programs []string         `json:"programs"`
 	Failed   []string         `json:"failed,omitempty"`
 	Phases   BenchPhases      `json:"phases"`
+	Inline   *BenchInline     `json:"inline,omitempty"`
 	Image    BenchCacheStats  `json:"image_cache"`
 	Objects  BenchCacheStats  `json:"object_cache"`
 	Counters []BenchCounter   `json:"counters,omitempty"`
 	Hists    []BenchHistogram `json:"histograms,omitempty"`
+}
+
+// BenchInline summarizes the analysis-routine inliner's work across the
+// run (schema v2): how many call sites received a spliced body and how
+// many still call through a wrapper. The atom.inline_body_len histogram
+// in Hists carries the spliced-body size distribution.
+type BenchInline struct {
+	SitesInlined int64 `json:"sites_inlined"`
+	SitesCalled  int64 `json:"sites_called"`
 }
 
 // BenchCounter is one named pipeline counter (sorted by name upstream).
@@ -164,9 +174,10 @@ func Histograms(hs []obs.Hist) []BenchHistogram {
 	return out
 }
 
-// WriteRunJSON writes an instrument-mode run document.
+// WriteRunJSON writes an instrument-mode run document. Schema history:
+// v1 had no inline block; v2 adds it (and nothing else changed shape).
 func WriteRunJSON(path string, doc RunDoc) error {
-	doc.Schema = "atom-run/v1"
+	doc.Schema = "atom-run/v2"
 	return writeJSON(path, doc)
 }
 

@@ -382,8 +382,14 @@ func (l *Layout) VerifyRewriteCtx(ctx *obs.Ctx, res *Result) []Diag {
 					// register operands never change.
 					bad(pr, in.Addr, "rewritten operands %v, expected %v", got, in.I)
 				}
-				// Spliced code: relocations patch displacements, never
-				// opcodes; every word must decode.
+				// Spliced code — call-site templates and inlined analysis
+				// bodies alike. Layout emits Code.Insts verbatim and then
+				// patches exactly the instructions named by CodeRelocs, so
+				// every word must decode, un-patched instructions must match
+				// the IR EXACTLY (this re-checks inlined bodies' re-indexed
+				// internal branch displacements), and patched ones keep
+				// their opcode (relocations rewrite displacement fields
+				// only).
 				verifyCode := func(codes []Code) {
 					for ci := range codes {
 						c := &codes[ci]
@@ -392,13 +398,23 @@ func (l *Layout) VerifyRewriteCtx(ctx *obs.Ctx, res *Result) []Diag {
 							bad(pr, in.Addr, "spliced code sequence has no layout address")
 							return
 						}
+						patched := map[int]bool{}
+						for _, r := range c.Relocs {
+							patched[r.Index] = true
+						}
 						for k := range c.Insts {
 							checked++
 							w, ok := decodeAt(start + uint64(k)*4)
 							if !ok {
 								bad(pr, in.Addr, "spliced word %d at new %#x does not decode", k, start+uint64(k)*4)
-							} else if w.Op != c.Insts[k].Op {
+								continue
+							}
+							if w.Op != c.Insts[k].Op {
 								bad(pr, in.Addr, "spliced opcode %s at new %#x, expected %s", w.Op, start+uint64(k)*4, c.Insts[k].Op)
+								continue
+							}
+							if !patched[k] && w != c.Insts[k] {
+								bad(pr, in.Addr, "spliced instruction %v at new %#x, expected %v", w, start+uint64(k)*4, c.Insts[k])
 							}
 						}
 					}

@@ -67,6 +67,11 @@ type Config struct {
 	// SamplePeriod is the sampling period in retired instructions; zero
 	// disables Sample callbacks.
 	SamplePeriod uint64
+	// noPredecode disables the text predecode cache, re-decoding every
+	// retired instruction as earlier versions did. Ablation knob for
+	// BenchmarkVMRun; not exported because there is no reason to run
+	// this way in production.
+	noPredecode bool
 }
 
 // Probe receives control-flow events from a running machine.
@@ -100,8 +105,18 @@ type Machine struct {
 	// the program, keyed by path (populated at close or exit).
 	FSOut map[string][]byte
 
-	exe      *aout.File
-	cfg      Config
+	exe *aout.File
+	cfg Config
+	// code/codeOK predecode the text segment at load time, one slot per
+	// word: Step fetches decoded instructions instead of calling
+	// alpha.Decode per retired instruction. Text is not all code —
+	// instrumented executables carry analysis data and constant blobs in
+	// the text segment — so undecodable words simply mark their slot
+	// invalid and fault only if fetched. Stores into text (none of our
+	// programs do this, but the ISA allows it) re-decode the affected
+	// slots to keep the cache coherent.
+	code     []alpha.Inst
+	codeOK   []bool
 	textEnd  uint64
 	heapBase uint64
 	brk      uint64 // application zone break
@@ -145,6 +160,16 @@ func New(exe *aout.File, cfg Config) (*Machine, error) {
 	copy(m.Mem[exe.TextAddr:], exe.Text)
 	copy(m.Mem[exe.DataAddr:], exe.Data)
 	m.textEnd = exe.TextAddr + uint64(len(exe.Text))
+	if !cfg.noPredecode {
+		n := len(exe.Text) / 4
+		m.code = make([]alpha.Inst, n)
+		m.codeOK = make([]bool, n)
+		for i := 0; i < n; i++ {
+			if inst, err := alpha.Decode(le32(exe.Text[i*4:])); err == nil {
+				m.code[i], m.codeOK[i] = inst, true
+			}
+		}
+	}
 	m.heapBase = align8(bssEnd)
 	m.brk = m.heapBase
 	m.brk2 = m.heapBase + cfg.AnalysisHeapOffset
@@ -213,6 +238,29 @@ func (m *Machine) Run() (int, error) {
 			sp.End()
 		}()
 	}
+	// Hot path: without a tracer or a sampling probe there is nothing to
+	// check per retired instruction, so the loop runs fetch/count/execute
+	// only. Probe Call/Return events still fire — they are tested on the
+	// control-transfer opcodes inside exec, not per instruction.
+	if m.cfg.Trace == nil && (m.cfg.Probe == nil || m.cfg.SamplePeriod == 0) && m.code != nil {
+		for !m.halted {
+			if m.Icount >= m.cfg.MaxInstr {
+				return 0, fmt.Errorf("vm: instruction budget %d exhausted at pc %#x", m.cfg.MaxInstr, m.PC)
+			}
+			if m.PC < m.exe.TextAddr || m.PC+4 > m.textEnd || m.PC%4 != 0 {
+				return 0, m.faultf("instruction fetch from %#x outside text", m.PC)
+			}
+			idx := (m.PC - m.exe.TextAddr) / 4
+			if !m.codeOK[idx] {
+				return 0, m.decodeFault()
+			}
+			m.Icount++
+			if err := m.exec(m.code[idx]); err != nil {
+				return 0, err
+			}
+		}
+		return m.exitCode, nil
+	}
 	for !m.halted {
 		if m.Icount >= m.cfg.MaxInstr {
 			return 0, fmt.Errorf("vm: instruction budget %d exhausted at pc %#x", m.cfg.MaxInstr, m.PC)
@@ -224,18 +272,45 @@ func (m *Machine) Run() (int, error) {
 	return m.exitCode, nil
 }
 
+// fetch returns the decoded instruction at m.PC, from the predecode
+// cache when present.
+func (m *Machine) fetch() (alpha.Inst, error) {
+	if m.PC < m.exe.TextAddr || m.PC+4 > m.textEnd || m.PC%4 != 0 {
+		return alpha.Inst{}, m.faultf("instruction fetch from %#x outside text", m.PC)
+	}
+	if m.code != nil {
+		idx := (m.PC - m.exe.TextAddr) / 4
+		if !m.codeOK[idx] {
+			return alpha.Inst{}, m.decodeFault()
+		}
+		return m.code[idx], nil
+	}
+	inst, err := alpha.Decode(le32(m.Mem[m.PC:]))
+	if err != nil {
+		return alpha.Inst{}, m.faultf("%v", err)
+	}
+	return inst, nil
+}
+
+// decodeFault re-decodes the word at m.PC to produce the same
+// diagnostic the un-cached path would have.
+func (m *Machine) decodeFault() error {
+	_, err := alpha.Decode(le32(m.Mem[m.PC:]))
+	return m.faultf("%v", err)
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
 // Step executes a single instruction.
 func (m *Machine) Step() error {
 	if m.halted {
 		return fmt.Errorf("vm: step after halt")
 	}
-	if m.PC < m.exe.TextAddr || m.PC+4 > m.textEnd || m.PC%4 != 0 {
-		return m.faultf("instruction fetch from %#x outside text", m.PC)
-	}
-	w := uint32(m.Mem[m.PC]) | uint32(m.Mem[m.PC+1])<<8 | uint32(m.Mem[m.PC+2])<<16 | uint32(m.Mem[m.PC+3])<<24
-	inst, err := alpha.Decode(w)
+	inst, err := m.fetch()
 	if err != nil {
-		return m.faultf("%v", err)
+		return err
 	}
 	if m.cfg.Trace != nil {
 		fmt.Fprintf(m.cfg.Trace, "%#x: %s\n", m.PC, inst)
@@ -244,6 +319,12 @@ func (m *Machine) Step() error {
 	if m.cfg.Probe != nil && m.cfg.SamplePeriod != 0 && m.Icount%m.cfg.SamplePeriod == 0 {
 		m.cfg.Probe.Sample(m.PC)
 	}
+	return m.exec(inst)
+}
+
+// exec applies one decoded instruction's side effects and advances the
+// PC. The caller has already counted the instruction.
+func (m *Machine) exec(inst alpha.Inst) error {
 	next := m.PC + 4
 
 	switch inst.Op {
@@ -447,7 +528,26 @@ func (m *Machine) store(i alpha.Inst) error {
 	for j := 0; j < size; j++ {
 		m.Mem[addr+uint64(j)] = byte(v >> (8 * j))
 	}
+	if m.code != nil && addr < m.textEnd && addr+uint64(size) > m.exe.TextAddr {
+		m.redecode(addr, size)
+	}
 	return nil
+}
+
+// redecode refreshes the predecode cache slots covering a store into
+// the text segment (self-modifying code; nothing we run does this, but
+// the cache must not change the machine's semantics).
+func (m *Machine) redecode(addr uint64, size int) {
+	lo := addr &^ 3
+	hi := (addr + uint64(size) + 3) &^ 3
+	for a := lo; a < hi; a += 4 {
+		if a < m.exe.TextAddr || a+4 > m.textEnd {
+			continue
+		}
+		idx := (a - m.exe.TextAddr) / 4
+		inst, err := alpha.Decode(le32(m.Mem[a:]))
+		m.code[idx], m.codeOK[idx] = inst, err == nil
+	}
 }
 
 func (m *Machine) faultf(format string, args ...any) error {

@@ -12,7 +12,7 @@ import (
 )
 
 // build assembles and links a standalone program.
-func build(t *testing.T, src string) *aout.File {
+func build(t testing.TB, src string) *aout.File {
 	t.Helper()
 	obj, err := asm.Assemble("t.s", src)
 	if err != nil {
@@ -640,5 +640,115 @@ __start:
 	}
 	if lines := strings.Count(tr, "\n"); lines != int(m.Icount) {
 		t.Errorf("trace has %d lines, retired %d instructions", lines, m.Icount)
+	}
+}
+
+// TestPredecodeMatchesDecodeEach: the predecode cache must be invisible —
+// same outputs, same counts, same exit code as re-decoding per fetch.
+func TestPredecodeMatchesDecodeEach(t *testing.T) {
+	src := `
+	.text
+	.globl __start
+	.ent __start
+__start:
+	li t0, 1000
+	clr t1
+loop:
+	addq t1, t0, t1
+	subq t0, 1, t0
+	bne t0, loop
+	and t1, 255, a0
+	call_pal 0
+	.end __start
+`
+	exe := build(t, src)
+	var icounts [2]uint64
+	var codes [2]int
+	for i, off := range []bool{false, true} {
+		m, err := New(exe, Config{noPredecode: off})
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		icounts[i], codes[i] = m.Icount, code
+	}
+	if icounts[0] != icounts[1] || codes[0] != codes[1] {
+		t.Errorf("predecode changed execution: icount %d vs %d, exit %d vs %d",
+			icounts[0], icounts[1], codes[0], codes[1])
+	}
+}
+
+// TestPredecodeSelfModify: a store into the text segment must be picked
+// up by the predecode cache (the ISA allows self-modifying code even if
+// nothing we build emits it).
+func TestPredecodeSelfModify(t *testing.T) {
+	// Overwrite the `li a0, 1` placeholder with `lda a0, 77(zero)`
+	// before executing it.
+	m, code := run(t, `
+	.text
+	.globl __start
+	.ent __start
+__start:
+	la t0, patch
+	la t1, target
+	ldl t2, 0(t0)
+	stl t2, 0(t1)
+target:
+	li a0, 1
+	call_pal 0
+patch:
+	lda a0, 77(zero)
+	.end __start
+`, Config{})
+	_ = m
+	if code != 77 {
+		t.Errorf("exit code = %d, want 77 (patched instruction not executed)", code)
+	}
+}
+
+// BenchmarkVMRun measures the interpreter's host-side throughput with
+// the predecode cache on (the default) and off (decode every retired
+// instruction, the pre-cache behavior).
+func BenchmarkVMRun(b *testing.B) {
+	src := `
+	.text
+	.globl __start
+	.ent __start
+__start:
+	li t0, 500000
+	clr t1
+loop:
+	addq t1, t0, t1
+	xor t1, t0, t2
+	s8addq t2, t1, t3
+	cmplt t3, t1, t4
+	subq t0, 1, t0
+	bne t0, loop
+	clr a0
+	call_pal 0
+	.end __start
+`
+	exe := build(b, src)
+	for _, bc := range []struct {
+		name string
+		off  bool
+	}{{"predecode", false}, {"decode-each", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			var insts uint64
+			for i := 0; i < b.N; i++ {
+				m, err := New(exe, Config{noPredecode: bc.off})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := m.Run(); err != nil {
+					b.Fatal(err)
+				}
+				insts += m.Icount
+			}
+			b.ReportMetric(float64(insts)/1e6/b.Elapsed().Seconds(), "Minst/s")
+		})
 	}
 }
