@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race benchsmoke tracesmoke profsmoke vetsmoke inlinesmoke bench ci
+.PHONY: all build fmt vet test race benchsmoke tracesmoke profsmoke vetsmoke inlinesmoke irsmoke bench ci
 
 all: build
 
@@ -82,8 +82,24 @@ inlinesmoke:
 	$(GO) run ./examples/cachesim -noinline > $$tmp/c.off; \
 	cmp $$tmp/c.on $$tmp/c.off
 
+# IR gate: serialize the smoke program's lifted IR (-emit-ir), then
+# instrument from the blob (-ir-in) with every tool in a separate
+# process; each output must be byte-identical to the in-memory path.
+irsmoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	printf '#include <stdio.h>\nint main() { printf("ok\\n"); return 0; }\n' > $$tmp/smoke.c; \
+	$(GO) run ./cmd/minicc -o $$tmp/smoke.o $$tmp/smoke.c; \
+	$(GO) run ./cmd/alink -o $$tmp/smoke.x $$tmp/smoke.o; \
+	$(GO) build -o $$tmp/atom ./cmd/atom; \
+	$$tmp/atom -emit-ir $$tmp/ir $$tmp/smoke.x; \
+	for t in $$($$tmp/atom -list | awk '{print $$1}'); do \
+		$$tmp/atom -vet -t $$t -o $$tmp/smoke.$$t.atom $$tmp/smoke.x || exit 1; \
+		$$tmp/atom -vet -t $$t -ir-in $$tmp/ir/smoke.ir -o $$tmp/smoke.$$t.ir.atom || exit 1; \
+		cmp $$tmp/smoke.$$t.atom $$tmp/smoke.$$t.ir.atom || exit 1; \
+	done
+
 # Real measurements (slow); see EXPERIMENTS.md for recorded numbers.
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-ci: fmt vet build race benchsmoke tracesmoke profsmoke vetsmoke inlinesmoke
+ci: fmt vet build race benchsmoke tracesmoke profsmoke vetsmoke inlinesmoke irsmoke

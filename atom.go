@@ -34,6 +34,7 @@ import (
 	"atom/internal/aout"
 	"atom/internal/build"
 	"atom/internal/core"
+	"atom/internal/om"
 	"atom/internal/rtl"
 	"atom/internal/tools"
 	"atom/internal/vm"
@@ -144,6 +145,44 @@ func Apply(app *Executable, ti *ToolImage, opts Options, extra ...Option) (*Resu
 // ImageCacheStats reports tool-image cache activity: hits, misses,
 // completed builds, and build errors.
 func ImageCacheStats() CacheStats { return core.ImageCacheStats() }
+
+// Program is an application lifted to OM IR: the symbolic
+// program/procedure/block/instruction view instrumentation routines
+// traverse. A Program is a single-use handle — instrumentation attaches
+// call sites to it — so obtain a fresh one (Lift or DecodeIR) per
+// Instrument/Apply call.
+type Program = om.Program
+
+// Lift raises an executable to OM IR through the content-addressed lift
+// cache: each distinct executable is analyzed and encoded once per
+// process; every Lift then decodes a fresh Program from the cached
+// atom-ir/v1 blob.
+func Lift(app *Executable) (*Program, error) { return core.Lift(app) }
+
+// EncodeIR serializes a pristine (not yet instrumented) Program to the
+// stable atom-ir/v1 wire format. The encoding is deterministic: equal
+// programs produce byte-identical blobs, so blobs can be content-
+// addressed, diffed, and cached across processes (`atom -emit-ir`).
+func EncodeIR(p *Program) ([]byte, error) { return om.Encode(p) }
+
+// DecodeIR reconstructs a Program from an atom-ir/v1 blob. The decoded
+// Program is a drop-in substitute for a fresh Lift of the same
+// executable: instrumenting it produces bit-identical output
+// (`atom -ir-in`).
+func DecodeIR(blob []byte) (*Program, error) { return om.Decode(blob) }
+
+// InstrumentProgram is Instrument starting from an already-lifted (or
+// decoded) Program instead of an executable. The Program is consumed.
+func InstrumentProgram(prog *Program, tool Tool, opts Options, extra ...Option) (*Result, error) {
+	for _, o := range extra {
+		o(&opts)
+	}
+	return core.InstrumentProgram(prog, tool, opts)
+}
+
+// IRCacheStats reports lift-cache activity: how many Instrument/Apply
+// calls decoded a cached IR blob instead of re-lifting the executable.
+func IRCacheStats() CacheStats { return build.IRCacheStats() }
 
 // Tools returns the paper's eleven analysis tools.
 func Tools() []Tool { return tools.All() }

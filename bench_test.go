@@ -27,6 +27,7 @@ import (
 	"testing"
 
 	"atom"
+	"atom/internal/build"
 	"atom/internal/core"
 	"atom/internal/figures"
 	"atom/internal/om"
@@ -373,4 +374,78 @@ func BenchmarkCompile(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkLift measures the lift stage through the content-addressed
+// IR cache: cold is a full build + encode + decode per call, warm is a
+// cached-blob decode — the cost every Instrument/Apply after the first
+// pays for the same executable.
+func BenchmarkLift(b *testing.B) {
+	exe, err := spec.Build("gcc") // the largest suite program
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			build.ResetIRCache()
+			b.StartTimer()
+			if _, err := core.Lift(exe); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		build.ResetIRCache()
+		if _, err := core.Lift(exe); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Lift(exe); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkIRRoundTrip isolates the atom-ir/v1 serialization costs from
+// the lift itself: encode, decode, and (for scale) the om.Build they
+// substitute for.
+func BenchmarkIRRoundTrip(b *testing.B) {
+	exe, err := spec.Build("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := om.Build(exe)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blob, err := om.Encode(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("encode", func(b *testing.B) {
+		b.SetBytes(int64(len(blob)))
+		for i := 0; i < b.N; i++ {
+			if _, err := om.Encode(prog); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.SetBytes(int64(len(blob)))
+		for i := 0; i < b.N; i++ {
+			if _, err := om.Decode(blob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := om.Build(exe); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

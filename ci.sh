@@ -62,3 +62,12 @@ cmp "$tmp/q.on" "$tmp/q.off"
 go run ./examples/cachesim > "$tmp/c.on"
 go run ./examples/cachesim -noinline > "$tmp/c.off"
 cmp "$tmp/c.on" "$tmp/c.off"
+
+# IR gate: serialize the smoke program's lifted IR, then instrument from
+# the blob with EVERY tool (in a separate process from the emit); each
+# output must be byte-identical to the vet gate's in-memory result.
+"$tmp/atom" -emit-ir "$tmp/ir" "$tmp/smoke.x"
+for t in $("$tmp/atom" -list | awk '{print $1}'); do
+    "$tmp/atom" -vet -t "$t" -ir-in "$tmp/ir/smoke.ir" -o "$tmp/smoke.$t.ir.atom"
+    cmp "$tmp/smoke.$t.atom" "$tmp/smoke.$t.ir.atom"
+done

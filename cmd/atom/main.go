@@ -31,6 +31,14 @@
 //	atom -t cache -vet prog.x            # verify IR, PC maps, rewritten text
 //	atom -verify-trace t.json            # validate a trace file (CI smoke)
 //
+// The lift stage is serializable: -emit-ir writes each input's OM IR as
+// a stable atom-ir/v1 blob, and -ir-in instruments from such a blob in
+// place of an executable — decode substitutes for the lift, and the
+// output is bit-identical to the in-memory path:
+//
+//	atom -emit-ir ir prog.x              # write ir/prog.ir
+//	atom -t cache -ir-in ir/prog.ir      # instrument from the blob
+//
 // It also regenerates the paper's evaluation artifacts:
 //
 //	atom -list                      # the 11 tools
@@ -43,15 +51,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime/pprof"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"atom/internal/aout"
+	"atom/internal/build"
 	"atom/internal/core"
 	"atom/internal/figures"
 	"atom/internal/obs"
+	"atom/internal/om"
 	"atom/internal/prof"
 	"atom/internal/rtl"
 	"atom/internal/tools"
@@ -72,6 +83,8 @@ func run() (code int) {
 		noInline      = flag.Bool("noinline", false, "disable analysis-routine inlining (always call through the register-save wrapper)")
 		inlineLimit   = flag.Int("inline-limit", 0, "largest analysis-routine body to inline, in instructions (0 = default)")
 		vet           = flag.Bool("vet", false, "verify the OM IR before instrumentation and the PC maps and rewritten text after")
+		emitIR        = flag.String("emit-ir", "", "lift each input and write its serialized IR (atom-ir/v1) to <dir>/<input>.ir instead of instrumenting")
+		irIn          = flag.String("ir-in", "", "instrument from a serialized IR blob (-emit-ir output) instead of an input executable")
 		jobs          = flag.Int("j", 1, "instrument up to N input programs in parallel (0 = GOMAXPROCS)")
 		list          = flag.Bool("list", false, "list the built-in tools")
 		table         = flag.String("table", "", "regenerate a paper table: fig5 | fig6")
@@ -126,9 +139,20 @@ func run() (code int) {
 	}
 	doRun := *runMode || *profilePath != ""
 
-	if flag.NArg() < 1 || (*toolName == "" && !doRun) {
+	switch {
+	case *emitIR != "" && (*irIn != "" || doRun || *toolName != ""):
+		return fail(fmt.Errorf("-emit-ir only lifts; it cannot be combined with -t, -ir-in or -run"))
+	case *irIn != "" && doRun:
+		return fail(fmt.Errorf("-ir-in cannot be combined with -run"))
+	case *irIn != "" && flag.NArg() > 0:
+		return fail(fmt.Errorf("-ir-in replaces the input executable; positional inputs are not allowed"))
+	}
+	needInput := *irIn == ""
+	needTool := *toolName == "" && !doRun && *emitIR == ""
+	if (needInput && flag.NArg() < 1) || needTool {
 		fmt.Fprintln(os.Stderr, "usage: atom prog.x [prog2.x ...] -t tool [-o prog.atom] [-j N] [-mode wrapper|inanalysis] [-heap N] [-vet]")
 		fmt.Fprintln(os.Stderr, "       atom [-t tool] -run [-profile file [-profile-period N] [-profile-format flat|folded]] prog.x [args...]")
+		fmt.Fprintln(os.Stderr, "       atom -emit-ir dir prog.x [prog2.x ...] | atom -t tool -ir-in prog.ir [-o prog.atom]")
 		fmt.Fprintln(os.Stderr, "       atom -list | -table fig5|fig6 [-bench-json file] | -verify-trace file")
 		return 2
 	}
@@ -220,6 +244,14 @@ func run() (code int) {
 			obs.WriteMetrics(os.Stderr, metricsSink, ctx.Counters(), ctx.Histograms())
 		}
 	}()
+
+	if *emitIR != "" {
+		return emitIRBlobs(ctx, *emitIR, flag.Args())
+	}
+	if *irIn != "" {
+		return instrumentFromIR(ctx, metricsSink, *irIn, tool, opts,
+			*outPath, *stats, *layout, *benchJSON)
+	}
 
 	if doRun {
 		return runUnderVM(ctx, metricsSink, runConfig{
@@ -320,37 +352,19 @@ func run() (code int) {
 		}
 	}
 	if *stats {
-		ic, oc := core.ImageCacheStats(), rtl.ObjectCacheStats()
-		fmt.Printf("image cache:             %d hits, %d misses, %d builds\n", ic.Hits, ic.Misses, ic.Builds)
-		fmt.Printf("object cache:            %d hits, %d misses, %d builds\n", oc.Hits, oc.Misses, oc.Builds)
+		printCacheStats()
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "atom: %d of %d programs failed\n", failed, len(inputs))
 	}
 
 	if *benchJSON != "" {
-		doc := figures.RunDoc{
-			Tool:     tool.Name,
-			Programs: inputs,
-			Phases: figures.BenchPhases{
-				BuildMS: msOf(metricsSink.Total("atom.image.build")),
-				PlanMS:  msOf(metricsSink.Total("atom.plan")),
-				ApplyMS: msOf(metricsSink.Total("atom.apply")),
-				WriteMS: msOf(metricsSink.Total("atom.write")),
-			},
-			Image:   figures.CacheStats(core.ImageCacheStats()),
-			Objects: figures.CacheStats(rtl.ObjectCacheStats()),
-		}
+		doc := newRunDoc(ctx, metricsSink, tool.Name, inputs)
 		for i := range inputs {
 			if errs[i] != nil {
 				doc.Failed = append(doc.Failed, inputs[i])
 			}
 		}
-		for _, c := range ctx.Counters() {
-			doc.Counters = append(doc.Counters, figures.BenchCounter{Name: c.Name, Value: c.Value})
-		}
-		doc.Inline = inlineBlock(ctx)
-		doc.Hists = figures.Histograms(ctx.Histograms())
 		if err := figures.WriteRunJSON(*benchJSON, doc); err != nil {
 			return fail(err)
 		}
@@ -460,25 +474,10 @@ func runUnderVM(ctx *obs.Ctx, metricsSink *obs.MetricsSink, rc runConfig) int {
 		}
 	}
 	if rc.benchJSON != "" {
-		doc := figures.RunDoc{
-			Tool:     rc.tool.Name,
-			Programs: []string{rc.input},
-			Phases: figures.BenchPhases{
-				BuildMS: msOf(metricsSink.Total("atom.image.build")),
-				PlanMS:  msOf(metricsSink.Total("atom.plan")),
-				ApplyMS: msOf(metricsSink.Total("atom.apply")),
-			},
-			Image:   figures.CacheStats(core.ImageCacheStats()),
-			Objects: figures.CacheStats(rtl.ObjectCacheStats()),
-		}
+		doc := newRunDoc(ctx, metricsSink, rc.tool.Name, []string{rc.input})
 		if runErr != nil {
 			doc.Failed = []string{rc.input}
 		}
-		for _, c := range ctx.Counters() {
-			doc.Counters = append(doc.Counters, figures.BenchCounter{Name: c.Name, Value: c.Value})
-		}
-		doc.Inline = inlineBlock(ctx)
-		doc.Hists = figures.Histograms(ctx.Histograms())
 		if err := figures.WriteRunJSON(rc.benchJSON, doc); err != nil {
 			fmt.Fprintln(os.Stderr, "atom:", err)
 			if status == 0 {
@@ -508,8 +507,129 @@ func writeProfile(p *prof.Profiler, path, format string) error {
 
 func msOf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
+// emitIRBlobs lifts each input executable (through the IR cache) and
+// writes its serialized atom-ir/v1 blob to <dir>/<input>.ir. Per-input
+// failures fail soft, like instrument batches do.
+func emitIRBlobs(ctx *obs.Ctx, dir string, inputs []string) int {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fail(err)
+	}
+	failed := 0
+	for _, path := range inputs {
+		app, err := aout.ReadFile(path)
+		var blob []byte
+		if err == nil {
+			blob, err = core.LiftBlobCtx(ctx, app)
+		}
+		out := filepath.Join(dir, irName(path))
+		if err == nil {
+			err = os.WriteFile(out, blob, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "atom: %s: %v\n", path, err)
+			failed++
+			continue
+		}
+		fmt.Printf("%s -> %s (%d bytes, %s)\n", path, out, len(blob), om.BlobDigest(blob)[:12])
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// irName maps an input path to its blob file name: the base name with
+// the extension replaced by ".ir".
+func irName(input string) string {
+	base := filepath.Base(input)
+	if dot := strings.LastIndexByte(base, '.'); dot > 0 {
+		base = base[:dot]
+	}
+	return base + ".ir"
+}
+
+// instrumentFromIR instruments from a serialized IR blob: decode
+// substitutes for the lift, and the rest of the pipeline — plan, tool
+// image, apply — is exactly the in-memory one, so the output executable
+// is bit-identical to instrumenting the original input. The output name
+// derives from the blob (prog.ir -> prog.atom) unless -o is given.
+func instrumentFromIR(ctx *obs.Ctx, metricsSink *obs.MetricsSink, irPath string, tool core.Tool, opts core.Options, outPath string, stats, layout bool, benchJSON string) int {
+	blob, err := os.ReadFile(irPath)
+	if err != nil {
+		return fail(err)
+	}
+	prog, err := om.DecodeCtx(ctx, blob)
+	if err != nil {
+		return fail(fmt.Errorf("%s: %w", irPath, err))
+	}
+	res, err := core.InstrumentProgramCtx(ctx, prog, tool, opts)
+	if err != nil {
+		return fail(fmt.Errorf("%s: %s: %w", irPath, tool.Name, err))
+	}
+	out := outputName(irPath, outPath)
+	_, sp := ctx.Start("atom.write", obs.String("file", out))
+	err = res.Exe.WriteFile(out)
+	sp.End()
+	if err != nil {
+		return fail(err)
+	}
+	if layout {
+		printLayout(prog.Exe, res)
+	}
+	if stats {
+		s := res.Stats
+		fmt.Printf("call sites instrumented: %d\n", s.Calls)
+		fmt.Printf("call sites inlined:      %d\n", s.InlinedSites)
+		fmt.Printf("instructions inserted:   %d\n", s.InsertedInsts)
+		fmt.Printf("application text:        %d -> %d bytes\n", s.OrigText, s.InstrText)
+		fmt.Printf("analysis image:          %d text + %d data bytes\n", s.AnalysisText, s.AnalysisData)
+		printCacheStats()
+	}
+	if benchJSON != "" {
+		doc := newRunDoc(ctx, metricsSink, tool.Name, []string{irPath})
+		if err := figures.WriteRunJSON(benchJSON, doc); err != nil {
+			return fail(err)
+		}
+	}
+	return 0
+}
+
+// printCacheStats renders the three artifact caches for -stats.
+func printCacheStats() {
+	ic, oc, rc := core.ImageCacheStats(), rtl.ObjectCacheStats(), build.IRCacheStats()
+	fmt.Printf("image cache:             %d hits, %d misses, %d builds\n", ic.Hits, ic.Misses, ic.Builds)
+	fmt.Printf("object cache:            %d hits, %d misses, %d builds\n", oc.Hits, oc.Misses, oc.Builds)
+	fmt.Printf("ir cache:                %d hits, %d misses, %d builds\n", rc.Hits, rc.Misses, rc.Builds)
+}
+
+// newRunDoc assembles the common part of a bench JSON run document
+// (schema atom-run/v3): per-phase totals including the lift, the three
+// cache stat blocks, counters, the inline block, and histograms.
+func newRunDoc(ctx *obs.Ctx, metricsSink *obs.MetricsSink, toolName string, programs []string) figures.RunDoc {
+	doc := figures.RunDoc{
+		Tool:     toolName,
+		Programs: programs,
+		Phases: figures.BenchPhases{
+			LiftMS:  msOf(metricsSink.Total("om.lift")),
+			BuildMS: msOf(metricsSink.Total("atom.image.build")),
+			PlanMS:  msOf(metricsSink.Total("atom.plan")),
+			ApplyMS: msOf(metricsSink.Total("atom.apply")),
+			WriteMS: msOf(metricsSink.Total("atom.write")),
+		},
+		Image:   figures.CacheStats(core.ImageCacheStats()),
+		Objects: figures.CacheStats(rtl.ObjectCacheStats()),
+		IR:      figures.CacheStats(build.IRCacheStats()),
+	}
+	for _, c := range ctx.Counters() {
+		doc.Counters = append(doc.Counters, figures.BenchCounter{Name: c.Name, Value: c.Value})
+	}
+	doc.Inline = inlineBlock(ctx)
+	doc.Hists = figures.Histograms(ctx.Histograms())
+	return doc
+}
+
 // inlineBlock extracts the inliner's site counters for the bench JSON
-// document (schema atom-run/v2). Nil when no instrumentation ran, so
+// document (schema atom-run/v3). Nil when no instrumentation ran, so
 // plain -run documents stay free of a meaningless zero block.
 func inlineBlock(ctx *obs.Ctx) *figures.BenchInline {
 	var blk figures.BenchInline
@@ -551,7 +671,7 @@ func checkTrace(path string) error {
 			attributed = true
 		}
 	}
-	for _, want := range []string{"cc.compile", "link.link", "atom.plan", "atom.image.build", "atom.apply"} {
+	for _, want := range []string{"cc.compile", "link.link", "om.lift", "atom.plan", "atom.image.build", "atom.apply"} {
 		if !seen[want] {
 			return fmt.Errorf("%s: no %q span in trace", path, want)
 		}

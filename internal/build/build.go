@@ -110,6 +110,8 @@ type Stats struct {
 // Cache is a concurrent, singleflight, content-addressed artifact store.
 // The zero value is ready to use.
 type Cache struct {
+	name string // counter prefix; "" means the default "cache"
+
 	mu      sync.Mutex
 	entries map[Key]*entry
 
@@ -127,6 +129,20 @@ type entry struct {
 
 // NewCache returns an empty cache.
 func NewCache() *Cache { return &Cache{} }
+
+// NewNamed returns an empty cache whose lookup-outcome counters are
+// prefixed by name ("ircache.hit", "ircache.miss", ...) instead of the
+// default "cache", so different artifact stores stay distinguishable in
+// one metrics snapshot.
+func NewNamed(name string) *Cache { return &Cache{name: name} }
+
+// counterPrefix returns the prefix for this cache's outcome counters.
+func (c *Cache) counterPrefix() string {
+	if c.name == "" {
+		return "cache"
+	}
+	return c.name
+}
 
 // Get returns the artifact for key, running build at most once per key at
 // a time. Concurrent Gets for the same key share one build. A failed
@@ -154,7 +170,7 @@ func (c *Cache) GetCtx(ctx *obs.Ctx, what string, key Key, build func(*obs.Ctx) 
 	outcome := func(o string) {
 		sp.SetAttr(obs.String("outcome", o))
 		sp.End()
-		ctx.Count("cache."+o, 1)
+		ctx.Count(c.counterPrefix()+"."+o, 1)
 	}
 
 	c.mu.Lock()

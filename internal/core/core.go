@@ -178,22 +178,42 @@ type Result struct {
 // step: the custom tool is Tool, prog is app, and the result is the
 // final organized executable.
 //
-// Internally this is a staged pipeline: plan (run the instrumentation
-// routine over the application IR), tool image (compile and link the
-// analysis routines — cached, so a suite of programs builds it once),
-// and apply (rewrite the application and stamp the image into its
-// text-data gap).
+// Internally this is a staged pipeline: lift (build the application IR
+// through the content-addressed IR cache — a suite of runs against one
+// executable lifts it once and decodes cached blobs thereafter), plan
+// (run the instrumentation routine over the IR), tool image (compile
+// and link the analysis routines — cached, so a suite of programs
+// builds it once), and apply (rewrite the application and stamp the
+// image into its text-data gap).
 func Instrument(app *aout.File, tool Tool, opts Options) (*Result, error) {
 	return InstrumentCtx(nil, app, tool, opts)
 }
 
-// InstrumentCtx is Instrument with a stage context: the plan, tool-image
-// and apply stages each run under their own span ("atom.plan",
-// "atom.image.build" behind a "cache.get" lookup, "atom.apply"), so a
-// trace of a suite run shows exactly which program paid for the image
-// build and which ones reused it.
+// InstrumentCtx is Instrument with a stage context: the lift, plan,
+// tool-image and apply stages each run under their own span ("om.lift",
+// "atom.plan", "atom.image.build" behind a "cache.get" lookup,
+// "atom.apply"), so a trace of a suite run shows exactly which program
+// paid for the lift and the image build and which ones reused them.
 func InstrumentCtx(ctx *obs.Ctx, app *aout.File, tool Tool, opts Options) (*Result, error) {
-	q, err := planFor(ctx, app, tool, opts)
+	prog, err := LiftCtx(ctx, app)
+	if err != nil {
+		return nil, err
+	}
+	return InstrumentProgramCtx(ctx, prog, tool, opts)
+}
+
+// InstrumentProgram is Instrument starting from an already-lifted
+// Program — typically one decoded from an atom-ir/v1 blob (om.Decode of
+// an `atom -emit-ir` artifact, or core.Lift). The Program is consumed:
+// instrumentation attaches call sites to its instructions, so pass a
+// fresh handle per run and do not reuse it.
+func InstrumentProgram(prog *om.Program, tool Tool, opts Options) (*Result, error) {
+	return InstrumentProgramCtx(nil, prog, tool, opts)
+}
+
+// InstrumentProgramCtx is InstrumentProgram with a stage context.
+func InstrumentProgramCtx(ctx *obs.Ctx, prog *om.Program, tool Tool, opts Options) (*Result, error) {
+	q, err := planOn(ctx, prog, tool, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -201,7 +221,7 @@ func InstrumentCtx(ctx *obs.Ctx, app *aout.File, tool Tool, opts Options) (*Resu
 	if err != nil {
 		return nil, err
 	}
-	return applyPlan(ctx, app, q, ti, opts)
+	return applyPlan(ctx, q, ti, opts)
 }
 
 // Apply stamps a prebuilt tool image into an application: the second
@@ -219,10 +239,25 @@ func Apply(app *aout.File, ti *ToolImage, opts Options) (*Result, error) {
 
 // ApplyCtx is Apply with a stage context.
 func ApplyCtx(ctx *obs.Ctx, app *aout.File, ti *ToolImage, opts Options) (*Result, error) {
+	prog, err := LiftCtx(ctx, app)
+	if err != nil {
+		return nil, err
+	}
+	return ApplyProgramCtx(ctx, prog, ti, opts)
+}
+
+// ApplyProgram is Apply starting from an already-lifted Program (see
+// InstrumentProgram for the handle contract: the Program is consumed).
+func ApplyProgram(prog *om.Program, ti *ToolImage, opts Options) (*Result, error) {
+	return ApplyProgramCtx(nil, prog, ti, opts)
+}
+
+// ApplyProgramCtx is ApplyProgram with a stage context.
+func ApplyProgramCtx(ctx *obs.Ctx, prog *om.Program, ti *ToolImage, opts Options) (*Result, error) {
 	if ti == nil {
 		return nil, fmt.Errorf("atom: Apply called with a nil tool image")
 	}
-	q, err := planFor(ctx, app, ti.tool, opts)
+	q, err := planOn(ctx, prog, ti.tool, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -232,22 +267,21 @@ func ApplyCtx(ctx *obs.Ctx, app *aout.File, ti *ToolImage, opts Options) (*Resul
 			return nil, err
 		}
 	}
-	return applyPlan(ctx, app, q, use, opts)
+	return applyPlan(ctx, q, use, opts)
 }
 
-// planFor runs the tool's instrumentation routine over the application
+// planOn runs the tool's instrumentation routine over a lifted Program
 // and returns the resulting plan: declared prototypes, the journal of
-// call insertions, and interned constant blobs.
-func planFor(ctx *obs.Ctx, app *aout.File, tool Tool, opts Options) (*Instrumentation, error) {
+// call insertions, and interned constant blobs. The lift itself is a
+// separate, earlier stage (LiftCtx / om.Decode), so a plan can be drawn
+// on a fresh lift or on IR decoded from a serialized blob
+// interchangeably.
+func planOn(ctx *obs.Ctx, prog *om.Program, tool Tool, opts Options) (*Instrumentation, error) {
 	if tool.Instrument == nil {
 		return nil, fmt.Errorf("atom: tool %q has no instrumentation routine", tool.Name)
 	}
-	pctx, sp := ctx.Start("atom.plan", obs.String("tool", tool.Name))
+	_, sp := ctx.Start("atom.plan", obs.String("tool", tool.Name))
 	defer sp.End()
-	prog, err := om.BuildCtx(pctx, app)
-	if err != nil {
-		return nil, err
-	}
 	q := &Instrumentation{
 		prog:   prog,
 		protos: map[string]*Proto{},
@@ -262,8 +296,11 @@ func planFor(ctx *obs.Ctx, app *aout.File, tool Tool, opts Options) (*Instrument
 
 // applyPlan rewrites the application according to a plan and composes the
 // final executable with the (rebased) analysis image in its text-data gap
-// (Figure 4). This is the only per-application work in the pipeline.
-func applyPlan(ctx *obs.Ctx, app *aout.File, q *Instrumentation, ti *ToolImage, opts Options) (*Result, error) {
+// (Figure 4). This is the only per-application work in the pipeline. The
+// application is reached through the plan's Program handle, so the same
+// code path serves fresh lifts and Programs decoded from serialized IR.
+func applyPlan(ctx *obs.Ctx, q *Instrumentation, ti *ToolImage, opts Options) (*Result, error) {
+	app := q.prog.Exe
 	actx, sp := ctx.Start("atom.apply", obs.String("tool", ti.tool.Name))
 	defer sp.End()
 	if ctx.Enabled() {

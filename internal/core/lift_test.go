@@ -1,0 +1,142 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"atom/internal/aout"
+	"atom/internal/build"
+	"atom/internal/om"
+	"atom/internal/rtl"
+)
+
+const liftTestProgram = `
+int work(int n) { int i; int s = 0; for (i = 0; i < n; i++) s += i; return s; }
+int main() { return work(10) - 45; }
+`
+
+func TestLiftCachesBlob(t *testing.T) {
+	build.ResetIRCache()
+	defer build.ResetIRCache()
+
+	app, err := rtl.BuildProgram("lift.c", liftTestProgram)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	p1, err := Lift(app)
+	if err != nil {
+		t.Fatalf("Lift: %v", err)
+	}
+	p2, err := Lift(app)
+	if err != nil {
+		t.Fatalf("Lift: %v", err)
+	}
+	s := build.IRCacheStats()
+	if s.Builds != 1 || s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("IR cache stats = %+v, want 1 build, 1 miss, 1 hit", s)
+	}
+
+	// Every Lift returns a fresh, private Program: attaching actions to
+	// one must not leak into the other (the cache stores blobs, never
+	// decoded Programs).
+	if p1 == p2 {
+		t.Fatal("Lift returned a shared Program handle")
+	}
+	in1 := p1.Proc("main").Blocks[0].Insts[0]
+	in1.Before = append(in1.Before, om.Code{})
+	in2 := p2.Proc("main").Blocks[0].Insts[0]
+	if len(in2.Before) != 0 {
+		t.Fatal("mutating one lifted Program leaked into another")
+	}
+}
+
+func TestLiftBlobStable(t *testing.T) {
+	build.ResetIRCache()
+	defer build.ResetIRCache()
+
+	app, err := rtl.BuildProgram("lift.c", liftTestProgram)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	b1, err := LiftBlob(app)
+	if err != nil {
+		t.Fatalf("LiftBlob: %v", err)
+	}
+	// A content-equal copy of the executable shares the digest, the
+	// cache entry, and therefore the blob.
+	clone, err := aout.Decode(app.Encode())
+	if err != nil {
+		t.Fatalf("clone: %v", err)
+	}
+	if exeDigest(clone) != exeDigest(app) {
+		t.Fatal("content-equal executables digest differently")
+	}
+	b2, err := LiftBlob(clone)
+	if err != nil {
+		t.Fatalf("LiftBlob: %v", err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("content-equal executables lifted to different blobs")
+	}
+	if s := build.IRCacheStats(); s.Builds != 1 {
+		t.Fatalf("IR cache built %d blobs for one executable content, want 1", s.Builds)
+	}
+
+	// A different executable gets a different digest and blob.
+	other, err := rtl.BuildProgram("lift.c", `int main() { return 0; }`)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if exeDigest(other) == exeDigest(app) {
+		t.Fatal("different executables share a digest")
+	}
+}
+
+// TestDecodedProgramInstruments: a Program decoded from a serialized
+// blob is a drop-in substitute for a fresh lift — InstrumentProgram
+// over it produces a byte-identical executable.
+func TestDecodedProgramInstruments(t *testing.T) {
+	build.ResetIRCache()
+	defer build.ResetIRCache()
+
+	app, err := rtl.BuildProgram("lift.c", liftTestProgram)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	tool := Tool{
+		Name:     "count",
+		Analysis: map[string]string{"count.c": "long n; void tick() { n++; }"},
+		Instrument: func(q *Instrumentation) error {
+			if err := q.AddCallProto("tick()"); err != nil {
+				return err
+			}
+			return q.AddCallProgram(ProgramBefore, "tick")
+		},
+	}
+	opts := Options{Verify: true}
+
+	blob, err := LiftBlob(app)
+	if err != nil {
+		t.Fatalf("LiftBlob: %v", err)
+	}
+	dec, err := om.Decode(blob)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	viaBlob, err := InstrumentProgram(dec, tool, opts)
+	if err != nil {
+		t.Fatalf("InstrumentProgram(decoded): %v", err)
+	}
+
+	fresh, err := om.Build(app)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	viaFresh, err := InstrumentProgram(fresh, tool, opts)
+	if err != nil {
+		t.Fatalf("InstrumentProgram(fresh): %v", err)
+	}
+	if !bytes.Equal(viaBlob.Exe.Encode(), viaFresh.Exe.Encode()) {
+		t.Fatal("decoded-IR instrumentation differs from fresh-lift instrumentation")
+	}
+}

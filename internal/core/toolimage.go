@@ -173,7 +173,11 @@ func BuildToolImageCtx(ctx *obs.Ctx, tool Tool, opts Options) (*ToolImage, error
 	if err != nil {
 		return nil, fmt.Errorf("atom: building probe program: %w", err)
 	}
-	q, err := planFor(ctx, probe, tool, opts)
+	prog, err := LiftCtx(ctx, probe)
+	if err != nil {
+		return nil, err
+	}
+	q, err := planOn(ctx, prog, tool, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -20,7 +20,7 @@ import (
 // notably atom.site_live_regs and atom.site_saved_regs, the per-site
 // caller-save live-set and save-set sizes the liveness analysis acts on.
 type BenchJSON struct {
-	Schema string           `json:"schema"` // "atom-bench/v2"
+	Schema string           `json:"schema"` // "atom-bench/v3"
 	Fig5   []BenchFig5Row   `json:"fig5,omitempty"`
 	Fig6   []BenchFig6Row   `json:"fig6,omitempty"`
 	Hists  []BenchHistogram `json:"histograms,omitempty"`
@@ -30,6 +30,7 @@ type BenchJSON struct {
 // by the observability layer (internal/obs) rather than ad-hoc timers.
 // Phases that did not run are zero.
 type BenchPhases struct {
+	LiftMS  float64 `json:"lift_ms"`            // executable -> IR (cached encode, or blob decode when warm)
 	BuildMS float64 `json:"build_ms"`           // tool-image compile + link
 	PlanMS  float64 `json:"plan_ms"`            // instrumentation routine over the IR
 	ApplyMS float64 `json:"apply_ms"`           // per-program rewrite + image stamp
@@ -56,10 +57,13 @@ type BenchFig5Row struct {
 	ToolBuildMS float64         `json:"tool_build_ms"` // one-time image build
 	TotalMS     float64         `json:"total_ms"`      // warm per-program rewrites, summed
 	AvgMS       float64         `json:"avg_ms"`        // warm rewrite per program
+	LiftColdMS  float64         `json:"lift_cold_ms"`  // suite lift, empty IR cache
+	LiftWarmMS  float64         `json:"lift_warm_ms"`  // suite lift, cached blobs
 	PaperAvgSec float64         `json:"paper_avg_sec"` // published reference
 	Phases      BenchPhases     `json:"phases"`
 	ImageCache  BenchCacheStats `json:"image_cache"`
 	ObjectCache BenchCacheStats `json:"object_cache"`
+	IRCache     BenchCacheStats `json:"ir_cache"`
 }
 
 // BenchFig6Row mirrors Fig6Row.
@@ -76,7 +80,7 @@ func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond)
 // WriteBenchJSON writes Figure 5/6 measurements as JSON to path. Either
 // row slice (and the histogram snapshot) may be nil.
 func WriteBenchJSON(path string, fig5 []Fig5Row, fig6 []Fig6Row, hists []obs.Hist) error {
-	doc := BenchJSON{Schema: "atom-bench/v2", Hists: Histograms(hists)}
+	doc := BenchJSON{Schema: "atom-bench/v3", Hists: Histograms(hists)}
 	if len(doc.Hists) == 0 {
 		doc.Hists = nil
 	}
@@ -88,13 +92,17 @@ func WriteBenchJSON(path string, fig5 []Fig5Row, fig6 []Fig6Row, hists []obs.His
 			TotalMS:     ms(r.Total),
 			AvgMS:       ms(r.Avg),
 			PaperAvgSec: PaperFig5[r.Tool].Avg,
+			LiftColdMS:  ms(r.LiftCold),
+			LiftWarmMS:  ms(r.LiftWarm),
 			Phases: BenchPhases{
+				LiftMS:  ms(r.LiftTime),
 				BuildMS: ms(r.ImageBuild),
 				PlanMS:  ms(r.PlanTime),
 				ApplyMS: ms(r.ApplyTime),
 			},
 			ImageCache:  CacheStats(r.ImageCache),
 			ObjectCache: CacheStats(r.ObjectCache),
+			IRCache:     CacheStats(r.IRCache),
 		})
 	}
 	for _, r := range fig6 {
@@ -113,7 +121,7 @@ func WriteBenchJSON(path string, fig5 []Fig5Row, fig6 []Fig6Row, hists []obs.His
 // writes: one instrument-mode run with its per-phase breakdown and cache
 // statistics.
 type RunDoc struct {
-	Schema   string           `json:"schema"` // "atom-run/v2"
+	Schema   string           `json:"schema"` // "atom-run/v3"
 	Tool     string           `json:"tool"`
 	Programs []string         `json:"programs"`
 	Failed   []string         `json:"failed,omitempty"`
@@ -121,6 +129,7 @@ type RunDoc struct {
 	Inline   *BenchInline     `json:"inline,omitempty"`
 	Image    BenchCacheStats  `json:"image_cache"`
 	Objects  BenchCacheStats  `json:"object_cache"`
+	IR       BenchCacheStats  `json:"ir_cache"`
 	Counters []BenchCounter   `json:"counters,omitempty"`
 	Hists    []BenchHistogram `json:"histograms,omitempty"`
 }
@@ -175,9 +184,10 @@ func Histograms(hs []obs.Hist) []BenchHistogram {
 }
 
 // WriteRunJSON writes an instrument-mode run document. Schema history:
-// v1 had no inline block; v2 adds it (and nothing else changed shape).
+// v1 had no inline block; v2 added it; v3 adds the lift phase (lift_ms)
+// and the IR-blob cache block (ir_cache).
 func WriteRunJSON(path string, doc RunDoc) error {
-	doc.Schema = "atom-run/v2"
+	doc.Schema = "atom-run/v3"
 	return writeJSON(path, doc)
 }
 

@@ -1,0 +1,514 @@
+package om
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"atom/internal/alpha"
+	"atom/internal/aout"
+	"atom/internal/obs"
+)
+
+// The atom-ir/v1 wire format: a stable, versioned binary encoding of a
+// pristine (no actions attached) Program, so the lift — the expensive
+// recovery of procedures, blocks, instructions and CFG edges from a
+// linked executable — can be done once, cached by content address, and
+// shipped between processes or machines. The layout is specified in
+// DESIGN.md §6; the invariants here are:
+//
+//   - Encoding is deterministic: one Program has exactly one blob.
+//   - decode∘encode is the identity: re-encoding a decoded Program
+//     reproduces the input blob byte for byte (om.Verify has a stage
+//     that checks this, plus structural equality, on every pristine
+//     program it verifies).
+//   - Decode is total over untrusted input: truncated, corrupted or
+//     version-skewed blobs return errors — never a panic, never an
+//     allocation proportional to a length field instead of to the
+//     actual input size.
+//
+// The blob embeds the full executable (aout encoding, text verbatim —
+// the alpha encoder is round-trip-checked per instruction but not
+// guaranteed word-canonical, so the original words are authoritative)
+// followed by the recovered structure: procedure table, per-block
+// instruction words (varint-packed, validated against the embedded
+// text on decode), CFG successor edges, and an old↔new PC-map section
+// that is empty on a pristine lift but reserved in the format so a
+// future writer can carry layout results in the same container.
+
+// FormatVersion names the wire format this package reads and writes.
+// It is part of the blob magic and of the IR cache key.
+const FormatVersion = "atom-ir/v1"
+
+// LifterVersion identifies the lift algorithm (Build) whose output the
+// blob captures. It is stored in the meta section and mixed into the IR
+// cache key: when the lifter changes in ways that alter its output,
+// bumping this constant invalidates every cached or persisted blob.
+const LifterVersion = "om-lifter-1"
+
+// irMagic is the blob header: the format version, newline-terminated so
+// `head -1` on an IR file names the format.
+var irMagic = []byte(FormatVersion + "\n")
+
+// Section tags, in the fixed order Encode emits them. Decode requires
+// exactly this sequence; tags above secPCMap are skipped (forward
+// compatibility: a later writer may append sections a v1 reader can
+// safely ignore).
+const (
+	secMeta  = 1 // lifter version
+	secExe   = 2 // the executable, aout-encoded verbatim
+	secProcs = 3 // procedure table: name, size, block count
+	secInsts = 4 // per-block instruction words, varint-packed
+	secCFG   = 5 // per-block successor edges (indices within the procedure)
+	secPCMap = 6 // old<->new PC pairs (empty for a pristine lift)
+)
+
+// PCPair is one entry of the static old↔new PC map.
+type PCPair struct {
+	Old uint64 // original (pre-instrumentation) address
+	New uint64 // address in the rewritten text
+}
+
+// BlobDigest returns the SHA-256 of an encoded IR blob as hex — the
+// content address used to name emitted .ir files in diagnostics.
+func BlobDigest(blob []byte) string {
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}
+
+// packWord maps a 32-bit instruction word to the varint-friendly form:
+// the 6-bit primary opcode moves to the low bits and the remaining 26
+// bits follow, so words whose operand fields are small — the common
+// case for the register-to-register core of a program — pack into
+// fewer varint bytes than the raw little-endian word would.
+func packWord(w uint32) uint64 {
+	return uint64(w>>26) | uint64(w&0x03FF_FFFF)<<6
+}
+
+// unpackWord inverts packWord; ok is false if the value does not fit a
+// 32-bit word.
+func unpackWord(v uint64) (uint32, bool) {
+	if v>>6 > 0x03FF_FFFF {
+		return 0, false
+	}
+	return uint32(v&0x3F)<<26 | uint32(v>>6), true
+}
+
+// Encode serializes a pristine Program to its atom-ir/v1 form. A
+// program with actions attached (Inst.Before/After) is not encodable —
+// the wire IR is the lift artifact, produced before any tool runs — and
+// returns an error.
+func Encode(p *Program) ([]byte, error) { return EncodeCtx(nil, p) }
+
+// EncodeCtx is Encode with a stage context: serialization runs under an
+// "om.encode" span annotated with the blob size.
+func EncodeCtx(ctx *obs.Ctx, p *Program) ([]byte, error) {
+	_, sp := ctx.Start("om.encode")
+	defer sp.End()
+	if p.Exe == nil {
+		return nil, fmt.Errorf("om: encode: program has no executable")
+	}
+	for _, pr := range p.Procs {
+		for _, b := range pr.Blocks {
+			for _, in := range b.Insts {
+				if len(in.Before) != 0 || len(in.After) != 0 {
+					return nil, fmt.Errorf("om: encode: %s+%#x carries attached actions; only a pristine lift is encodable", pr.Name, in.Addr-pr.Addr)
+				}
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	buf.Write(irMagic)
+	section := func(tag byte, payload []byte) {
+		buf.WriteByte(tag)
+		buf.Write(binary.AppendUvarint(nil, uint64(len(payload))))
+		buf.Write(payload)
+	}
+
+	// meta: the lifter version, as a length-prefixed string.
+	meta := binary.AppendUvarint(nil, uint64(len(LifterVersion)))
+	meta = append(meta, LifterVersion...)
+	section(secMeta, meta)
+
+	// exe: the full executable. Text is carried verbatim — it is the
+	// authoritative instruction bytes; the insts section is validated
+	// against it on decode.
+	section(secExe, p.Exe.Encode())
+
+	// procs: count, then (name, size, block count) per procedure. Start
+	// addresses are not stored: procedures tile the text contiguously
+	// from TextAddr, so they are derived (and re-validated) on decode.
+	var procs []byte
+	procs = binary.AppendUvarint(procs, uint64(len(p.Procs)))
+	for _, pr := range p.Procs {
+		procs = binary.AppendUvarint(procs, uint64(len(pr.Name)))
+		procs = append(procs, pr.Name...)
+		procs = binary.AppendUvarint(procs, pr.Size)
+		procs = binary.AppendUvarint(procs, uint64(len(pr.Blocks)))
+	}
+	section(secProcs, procs)
+
+	// insts: per block, the instruction count and the packed words, read
+	// from the executable's text (the words Build decoded).
+	var insts []byte
+	text, base := p.Exe.Text, p.Exe.TextAddr
+	for _, pr := range p.Procs {
+		for _, b := range pr.Blocks {
+			insts = binary.AppendUvarint(insts, uint64(len(b.Insts)))
+			for _, in := range b.Insts {
+				off := in.Addr - base
+				if off+4 > uint64(len(text)) {
+					return nil, fmt.Errorf("om: encode: %s: instruction at %#x outside text", pr.Name, in.Addr)
+				}
+				w := binary.LittleEndian.Uint32(text[off:])
+				insts = binary.AppendUvarint(insts, packWord(w))
+			}
+		}
+	}
+	section(secInsts, insts)
+
+	// cfg: per block, the successor count and each successor's block
+	// index within the procedure, preserving resolveSuccs order (taken
+	// edge before fallthrough) — tools and the liveness pass traverse
+	// edges in this order.
+	var cfg []byte
+	for _, pr := range p.Procs {
+		for _, b := range pr.Blocks {
+			cfg = binary.AppendUvarint(cfg, uint64(len(b.Succs)))
+			for _, s := range b.Succs {
+				cfg = binary.AppendUvarint(cfg, uint64(s.Index))
+			}
+		}
+	}
+	section(secCFG, cfg)
+
+	// pcmap: the old<->new pairs the blob carries. A pristine lift has
+	// none; pairs decoded from a blob round-trip so decode∘encode stays
+	// the identity.
+	var pcmap []byte
+	pcmap = binary.AppendUvarint(pcmap, uint64(len(p.pcPairs)))
+	for _, pp := range p.pcPairs {
+		pcmap = binary.AppendUvarint(pcmap, pp.Old)
+		pcmap = binary.AppendUvarint(pcmap, pp.New)
+	}
+	section(secPCMap, pcmap)
+
+	blob := buf.Bytes()
+	sp.SetAttr(
+		obs.Int("bytes", int64(len(blob))),
+		obs.Int("insts", int64(p.NumInsts())))
+	return blob, nil
+}
+
+// irReader is an error-latching cursor over untrusted blob bytes. Every
+// accessor is bounds-checked; the first failure is recorded and all
+// later reads return zero values, so decode logic never branches on
+// intermediate errors.
+type irReader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *irReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("om: ir: offset %d: %s", r.pos, fmt.Sprintf(format, args...))
+	}
+}
+
+func (r *irReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail("truncated or overlong varint")
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *irReader) u8() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos >= len(r.data) {
+		r.fail("truncated")
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+// take returns the next n bytes without copying; n is validated against
+// the remaining input first, so a corrupt length field cannot force an
+// allocation or a panic.
+func (r *irReader) take(n uint64) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.data)-r.pos) {
+		r.fail("truncated: need %d bytes, have %d", n, len(r.data)-r.pos)
+		return nil
+	}
+	b := r.data[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return b
+}
+
+func (r *irReader) str() string {
+	n := r.uvarint()
+	return string(r.take(n))
+}
+
+func (r *irReader) rest() int { return len(r.data) - r.pos }
+
+// Decode reconstructs a Program from its atom-ir/v1 encoding. The blob
+// is untrusted: any truncation, corruption, or version skew (wrong
+// format magic, wrong lifter version) returns an error. The returned
+// Program is freshly allocated and independent of any other decode of
+// the same blob — callers may attach actions to it exactly as they
+// would to a fresh Build.
+func Decode(blob []byte) (*Program, error) { return DecodeCtx(nil, blob) }
+
+// DecodeCtx is Decode with a stage context: reconstruction runs under
+// an "om.decode" span annotated with the blob size and the recovered
+// procedure and instruction counts.
+func DecodeCtx(ctx *obs.Ctx, blob []byte) (*Program, error) {
+	_, sp := ctx.Start("om.decode", obs.Int("bytes", int64(len(blob))))
+	defer sp.End()
+
+	if !bytes.HasPrefix(blob, irMagic) {
+		if i := bytes.IndexByte(blob, '\n'); i >= 0 && i <= 32 && bytes.HasPrefix(blob, []byte("atom-ir/")) {
+			return nil, fmt.Errorf("om: ir: format version skew: blob is %q, this reader handles %q", blob[:i], FormatVersion)
+		}
+		return nil, fmt.Errorf("om: ir: not an %s blob", FormatVersion)
+	}
+	r := &irReader{data: blob, pos: len(irMagic)}
+
+	// Sections arrive in fixed order; each is parsed by a sub-reader
+	// over exactly its payload, so intra-section trailing bytes are
+	// detected per section.
+	nextSection := func(tag byte) *irReader {
+		got := r.u8()
+		if r.err == nil && got != tag {
+			r.fail("section tag %d, expected %d", got, tag)
+		}
+		n := r.uvarint()
+		return &irReader{data: r.take(n)}
+	}
+	sectionDone := func(s *irReader, what string) error {
+		if s.err != nil {
+			return s.err
+		}
+		if s.rest() != 0 {
+			return fmt.Errorf("om: ir: %s section has %d trailing bytes", what, s.rest())
+		}
+		return nil
+	}
+
+	// meta: reject lifter skew before doing any real work.
+	s := nextSection(secMeta)
+	lifter := s.str()
+	if err := sectionDone(s, "meta"); err != nil {
+		return nil, err
+	}
+	if r.err == nil && lifter != LifterVersion {
+		return nil, fmt.Errorf("om: ir: lifter version skew: blob lifted by %q, this reader expects %q", lifter, LifterVersion)
+	}
+
+	// exe: the embedded executable; aout.Decode performs its own
+	// truncation and plausibility checks.
+	s = nextSection(secExe)
+	var exe *aout.File
+	if r.err == nil && s.err == nil {
+		var err error
+		exe, err = aout.Decode(s.data)
+		if err != nil {
+			return nil, fmt.Errorf("om: ir: exe section: %w", err)
+		}
+		if !exe.Linked {
+			return nil, fmt.Errorf("om: ir: exe section holds an unlinked object")
+		}
+	}
+
+	// procs: reconstruct the procedure table, deriving start addresses
+	// from contiguity and validating full text coverage.
+	prog := &Program{Exe: exe}
+	s = nextSection(secProcs)
+	nprocs := s.uvarint()
+	// Each procedure costs at least 3 payload bytes (empty name, size,
+	// block count), so the count is capped by the section itself.
+	if s.err == nil && nprocs > uint64(s.rest())/3+1 {
+		return nil, fmt.Errorf("om: ir: implausible procedure count %d", nprocs)
+	}
+	var totalBlocks uint64
+	if s.err == nil && r.err == nil && exe != nil {
+		prog.Procs = make([]*Proc, 0, nprocs)
+		addr := exe.TextAddr
+		for i := uint64(0); i < nprocs && s.err == nil; i++ {
+			name := s.str()
+			size := s.uvarint()
+			nblocks := s.uvarint()
+			if s.err != nil {
+				break
+			}
+			if size%4 != 0 {
+				return nil, fmt.Errorf("om: ir: procedure %q has misaligned size %d", name, size)
+			}
+			if size > uint64(len(exe.Text)) {
+				return nil, fmt.Errorf("om: ir: procedure %q size %d exceeds text", name, size)
+			}
+			if nblocks > size/4 {
+				return nil, fmt.Errorf("om: ir: procedure %q claims %d blocks in %d instructions", name, nblocks, size/4)
+			}
+			pr := &Proc{Name: name, Index: int(i), Addr: addr, Size: size, prog: prog}
+			pr.Blocks = make([]*Block, 0, nblocks)
+			for bi := uint64(0); bi < nblocks; bi++ {
+				pr.Blocks = append(pr.Blocks, &Block{Index: int(bi), proc: pr})
+			}
+			totalBlocks += nblocks
+			prog.Procs = append(prog.Procs, pr)
+			addr += size
+		}
+		if s.err == nil {
+			if end := exe.TextAddr + uint64(len(exe.Text)); addr != end {
+				return nil, fmt.Errorf("om: ir: procedures cover text up to %#x, segment ends at %#x", addr, end)
+			}
+		}
+	}
+	if err := sectionDone(s, "procs"); err != nil {
+		return nil, err
+	}
+
+	// insts: per-block counts and packed words. Every word is validated
+	// two ways — it must equal the text bytes at its derived address
+	// (the sections must agree with the embedded executable), and it
+	// must decode as an instruction (the IR invariant Build guarantees).
+	s = nextSection(secInsts)
+	if r.err == nil && s.err == nil {
+		prog.instAt = make(map[uint64]*Inst, len(exe.Text)/4)
+		for _, pr := range prog.Procs {
+			addr := pr.Addr
+			for _, b := range pr.Blocks {
+				n := s.uvarint()
+				if s.err != nil {
+					break
+				}
+				// A packed word costs at least 1 payload byte.
+				if n > uint64(s.rest()) || addr+n*4 > pr.Addr+pr.Size {
+					return nil, fmt.Errorf("om: ir: %s: block %d claims %d instructions beyond its procedure", pr.Name, b.Index, n)
+				}
+				b.Insts = make([]*Inst, 0, n)
+				for k := uint64(0); k < n; k++ {
+					v := s.uvarint()
+					if s.err != nil {
+						break
+					}
+					w, ok := unpackWord(v)
+					if !ok {
+						return nil, fmt.Errorf("om: ir: %s+%#x: packed word %#x exceeds 32 bits", pr.Name, addr-pr.Addr, v)
+					}
+					off := addr - exe.TextAddr
+					if tw := binary.LittleEndian.Uint32(exe.Text[off:]); tw != w {
+						return nil, fmt.Errorf("om: ir: %s+%#x: instruction word %#08x disagrees with text %#08x", pr.Name, addr-pr.Addr, w, tw)
+					}
+					in, err := alpha.Decode(w)
+					if err != nil {
+						return nil, fmt.Errorf("om: ir: %s+%#x: %w", pr.Name, addr-pr.Addr, err)
+					}
+					inst := &Inst{I: in, Addr: addr, block: b}
+					b.Insts = append(b.Insts, inst)
+					prog.instAt[addr] = inst
+					addr += 4
+				}
+			}
+			if s.err == nil && addr != pr.Addr+pr.Size {
+				return nil, fmt.Errorf("om: ir: %s: blocks cover %d bytes, procedure size is %d", pr.Name, addr-pr.Addr, pr.Size)
+			}
+		}
+	}
+	if err := sectionDone(s, "insts"); err != nil {
+		return nil, err
+	}
+
+	// cfg: successor indices, bounds-checked against each procedure's
+	// block table.
+	s = nextSection(secCFG)
+	if r.err == nil && s.err == nil {
+		for _, pr := range prog.Procs {
+			for _, b := range pr.Blocks {
+				n := s.uvarint()
+				if s.err != nil {
+					break
+				}
+				if n > uint64(s.rest())+1 {
+					return nil, fmt.Errorf("om: ir: %s: block %d claims %d successor edges", pr.Name, b.Index, n)
+				}
+				if n > 0 {
+					b.Succs = make([]*Block, 0, n)
+				}
+				for k := uint64(0); k < n; k++ {
+					idx := s.uvarint()
+					if s.err != nil {
+						break
+					}
+					if idx >= uint64(len(pr.Blocks)) {
+						return nil, fmt.Errorf("om: ir: %s: block %d successor index %d of %d blocks", pr.Name, b.Index, idx, len(pr.Blocks))
+					}
+					b.Succs = append(b.Succs, pr.Blocks[idx])
+				}
+			}
+		}
+	}
+	if err := sectionDone(s, "cfg"); err != nil {
+		return nil, err
+	}
+
+	// pcmap: reserved scaffolding; a pristine lift carries zero pairs.
+	// Pairs are retained so re-encoding reproduces the blob.
+	s = nextSection(secPCMap)
+	npairs := s.uvarint()
+	if s.err == nil && npairs > uint64(s.rest())/2+1 {
+		return nil, fmt.Errorf("om: ir: implausible PC-map entry count %d", npairs)
+	}
+	if s.err == nil && npairs > 0 {
+		prog.pcPairs = make([]PCPair, 0, npairs)
+		for i := uint64(0); i < npairs && s.err == nil; i++ {
+			old := s.uvarint()
+			new := s.uvarint()
+			prog.pcPairs = append(prog.pcPairs, PCPair{Old: old, New: new})
+		}
+	}
+	if err := sectionDone(s, "pcmap"); err != nil {
+		return nil, err
+	}
+
+	// Unknown trailing sections (tags above secPCMap, in ascending
+	// order) are skipped: a later writer may append data a v1 reader
+	// does not understand. Anything else trailing is corruption.
+	lastTag := byte(secPCMap)
+	for r.err == nil && r.pos < len(r.data) {
+		tag := r.u8()
+		if r.err == nil && tag <= lastTag {
+			r.fail("unexpected section tag %d after %d", tag, lastTag)
+			break
+		}
+		lastTag = tag
+		n := r.uvarint()
+		r.take(n)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+
+	sp.SetAttr(
+		obs.Int("procs", int64(len(prog.Procs))),
+		obs.Int("insts", int64(prog.NumInsts())))
+	return prog, nil
+}

@@ -1,0 +1,332 @@
+package om_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"atom/internal/om"
+)
+
+// TestEncodeDecodeRoundTrip: decoding an encoded Program reconstructs
+// the identical structure, and re-encoding the decoded Program
+// reproduces the blob byte for byte (the format's central invariant).
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	exe := buildSample(t, sampleProgram)
+	prog, err := om.Build(exe)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	blob, err := om.Encode(prog)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if !bytes.HasPrefix(blob, []byte(om.FormatVersion+"\n")) {
+		t.Fatalf("blob does not start with the %s magic", om.FormatVersion)
+	}
+
+	dec, err := om.Decode(blob)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(dec.Procs) != len(prog.Procs) {
+		t.Fatalf("decoded %d procs, want %d", len(dec.Procs), len(prog.Procs))
+	}
+	for i, pr := range prog.Procs {
+		dp := dec.Procs[i]
+		if dp.Name != pr.Name || dp.Addr != pr.Addr || dp.Size != pr.Size {
+			t.Fatalf("proc %d: decoded %q@%#x+%d, want %q@%#x+%d",
+				i, dp.Name, dp.Addr, dp.Size, pr.Name, pr.Addr, pr.Size)
+		}
+		if len(dp.Blocks) != len(pr.Blocks) {
+			t.Fatalf("%s: decoded %d blocks, want %d", pr.Name, len(dp.Blocks), len(pr.Blocks))
+		}
+		for bi, b := range pr.Blocks {
+			db := dp.Blocks[bi]
+			if len(db.Insts) != len(b.Insts) {
+				t.Fatalf("%s block %d: decoded %d insts, want %d", pr.Name, bi, len(db.Insts), len(b.Insts))
+			}
+			for k, in := range b.Insts {
+				di := db.Insts[k]
+				if di.Addr != in.Addr || di.I != in.I {
+					t.Fatalf("%s block %d inst %d: decoded %+v@%#x, want %+v@%#x",
+						pr.Name, bi, k, di.I, di.Addr, in.I, in.Addr)
+				}
+				if di.Block() != db || di.Proc() != dp {
+					t.Fatalf("%s block %d inst %d: bad back-pointers after decode", pr.Name, bi, k)
+				}
+			}
+			if len(db.Succs) != len(b.Succs) {
+				t.Fatalf("%s block %d: decoded %d succs, want %d", pr.Name, bi, len(db.Succs), len(b.Succs))
+			}
+			for k, s := range b.Succs {
+				if db.Succs[k].Index != s.Index {
+					t.Fatalf("%s block %d succ %d: decoded index %d, want %d",
+						pr.Name, bi, k, db.Succs[k].Index, s.Index)
+				}
+			}
+		}
+	}
+	if dec.NumInsts() != prog.NumInsts() {
+		t.Fatalf("decoded %d insts, want %d", dec.NumInsts(), prog.NumInsts())
+	}
+	for _, pr := range prog.Procs {
+		if dec.InstAt(pr.Addr) == nil {
+			t.Fatalf("InstAt(%#x) nil after decode", pr.Addr)
+		}
+	}
+
+	blob2, err := om.Encode(dec)
+	if err != nil {
+		t.Fatalf("re-Encode: %v", err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("decode∘encode is not the identity")
+	}
+	if om.BlobDigest(blob) != om.BlobDigest(blob2) {
+		t.Fatal("digests disagree for identical blobs")
+	}
+
+	// A decoded Program passes the full verifier, including the encoding
+	// stage, exactly like a fresh lift.
+	if ds := dec.Verify(); len(ds) > 0 {
+		t.Fatalf("decoded program fails verify: %v", ds[0])
+	}
+}
+
+// TestEncodeDeterministic: encoding is a pure function of the Program.
+func TestEncodeDeterministic(t *testing.T) {
+	exe := buildSample(t, sampleProgram)
+	prog, err := om.Build(exe)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	a, err := om.Encode(prog)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	b, err := om.Encode(prog)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodes of one Program differ")
+	}
+}
+
+// TestEncodeRejectsInstrumented: the wire IR is the lift artifact; a
+// Program with actions attached is not encodable.
+func TestEncodeRejectsInstrumented(t *testing.T) {
+	exe := buildSample(t, sampleProgram)
+	prog, err := om.Build(exe)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	in := prog.Proc("main").Blocks[0].Insts[0]
+	in.Before = append(in.Before, om.Code{})
+	if _, err := om.Encode(prog); err == nil {
+		t.Fatal("Encode accepted a program with attached actions")
+	} else if !strings.Contains(err.Error(), "pristine") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestDecodeVersionSkew: a blob of another format version is rejected
+// with an error naming both versions; junk is rejected as not-an-IR-blob.
+func TestDecodeVersionSkew(t *testing.T) {
+	if _, err := om.Decode([]byte("atom-ir/v9\nrest")); err == nil ||
+		!strings.Contains(err.Error(), "version skew") {
+		t.Fatalf("future version: got %v, want a version-skew error", err)
+	}
+	for _, junk := range [][]byte{nil, {}, []byte("ELF"), []byte("atom-ir"), []byte(strings.Repeat("x", 64))} {
+		if _, err := om.Decode(junk); err == nil {
+			t.Fatalf("Decode(%q) succeeded on junk", junk)
+		}
+	}
+}
+
+// TestDecodeLifterSkew: a blob produced by a different lifter version is
+// rejected even when the container format matches.
+func TestDecodeLifterSkew(t *testing.T) {
+	exe := buildSample(t, sampleProgram)
+	prog, err := om.Build(exe)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	blob, err := om.Encode(prog)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	i := bytes.Index(blob, []byte(om.LifterVersion))
+	if i < 0 {
+		t.Fatal("lifter version not found in blob")
+	}
+	skewed := append([]byte(nil), blob...)
+	skewed[i+len(om.LifterVersion)-1] ^= 1 // same length, different name
+	if _, err := om.Decode(skewed); err == nil || !strings.Contains(err.Error(), "lifter version skew") {
+		t.Fatalf("got %v, want a lifter-skew error", err)
+	}
+}
+
+// TestDecodeTruncated: every prefix of a valid blob errors cleanly —
+// no panic, no allocation driven by a length field past the input.
+func TestDecodeTruncated(t *testing.T) {
+	exe := buildSample(t, sampleProgram)
+	prog, err := om.Build(exe)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	blob, err := om.Encode(prog)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	step := len(blob)/97 + 1 // sample prefixes across the whole blob
+	for n := 0; n < len(blob); n += step {
+		if _, err := om.Decode(blob[:n]); err == nil {
+			t.Fatalf("Decode accepted a %d/%d-byte prefix", n, len(blob))
+		}
+	}
+}
+
+// TestDecodeCorrupted: flipping bytes in the structural sections is
+// caught by the cross-validation against the embedded executable.
+func TestDecodeCorrupted(t *testing.T) {
+	exe := buildSample(t, sampleProgram)
+	prog, err := om.Build(exe)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	blob, err := om.Encode(prog)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	// The insts/cfg/pcmap sections occupy the tail of the blob; the exe
+	// section dominates the front. Corrupt a spread of tail positions:
+	// every flip must either fail decode or decode to a program that
+	// still re-encodes consistently (a flip in a skipped/unused byte).
+	start := len(blob) * 3 / 4
+	for pos := start; pos < len(blob); pos += 13 {
+		mut := append([]byte(nil), blob...)
+		mut[pos] ^= 0x40
+		dec, err := om.Decode(mut)
+		if err != nil {
+			continue
+		}
+		re, err := om.Encode(dec)
+		if err != nil {
+			t.Fatalf("flip at %d: decoded but re-encode failed: %v", pos, err)
+		}
+		if !bytes.Equal(re, mut) {
+			t.Fatalf("flip at %d: accepted a blob that does not round-trip", pos)
+		}
+	}
+}
+
+// TestDecodeUnknownTrailingSection: a v1 reader skips appended sections
+// with higher tags (forward compatibility), but rejects out-of-order or
+// duplicate tags.
+func TestDecodeUnknownTrailingSection(t *testing.T) {
+	exe := buildSample(t, sampleProgram)
+	prog, err := om.Build(exe)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	blob, err := om.Encode(prog)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	ext := append([]byte(nil), blob...)
+	ext = append(ext, 7) // unknown tag
+	ext = binary.AppendUvarint(ext, 3)
+	ext = append(ext, "xyz"...)
+	if _, err := om.Decode(ext); err != nil {
+		t.Fatalf("Decode rejected an unknown trailing section: %v", err)
+	}
+
+	dup := append([]byte(nil), blob...)
+	dup = append(dup, 6) // duplicate pcmap tag
+	dup = binary.AppendUvarint(dup, 1)
+	dup = append(dup, 0)
+	if _, err := om.Decode(dup); err == nil {
+		t.Fatal("Decode accepted a duplicate section tag")
+	}
+}
+
+// TestPCMapSectionRoundTrip: a blob carrying old<->new PC pairs decodes
+// and re-encodes identically — the pcmap scaffolding is genuinely wired,
+// not write-only.
+func TestPCMapSectionRoundTrip(t *testing.T) {
+	exe := buildSample(t, sampleProgram)
+	prog, err := om.Build(exe)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	blob, err := om.Encode(prog)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	// A pristine blob ends with an empty pcmap section: tag 6, length 1,
+	// payload {0}. Splice in a two-pair section.
+	tail := []byte{6, 1, 0}
+	if !bytes.Equal(blob[len(blob)-3:], tail) {
+		t.Fatalf("blob tail %v, want empty pcmap section %v", blob[len(blob)-3:], tail)
+	}
+	var payload []byte
+	payload = binary.AppendUvarint(payload, 2)
+	for _, pp := range []om.PCPair{{Old: 0x20000000, New: 0x20000040}, {Old: 0x20000004, New: 0x2000004c}} {
+		payload = binary.AppendUvarint(payload, pp.Old)
+		payload = binary.AppendUvarint(payload, pp.New)
+	}
+	withMap := append([]byte(nil), blob[:len(blob)-2]...) // keep tag 6
+	withMap = binary.AppendUvarint(withMap, uint64(len(payload)))
+	withMap = append(withMap, payload...)
+
+	dec, err := om.Decode(withMap)
+	if err != nil {
+		t.Fatalf("Decode with pcmap: %v", err)
+	}
+	re, err := om.Encode(dec)
+	if err != nil {
+		t.Fatalf("re-Encode with pcmap: %v", err)
+	}
+	if !bytes.Equal(withMap, re) {
+		t.Fatal("pcmap section does not survive a decode∘encode round trip")
+	}
+}
+
+// TestLayoutPCPairsAcrossDecode: the layout computed from a decoded
+// Program produces exactly the PC map of the fresh lift — same pairs,
+// bijective both ways (Layout.Verify checks bijectivity under -vet).
+func TestLayoutPCPairsAcrossDecode(t *testing.T) {
+	exe := buildSample(t, sampleProgram)
+	prog, err := om.Build(exe)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	blob, err := om.Encode(prog)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	dec, err := om.Decode(blob)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+
+	fresh := prog.Layout().PCPairs()
+	decoded := dec.Layout().PCPairs()
+	if len(fresh) == 0 {
+		t.Fatal("fresh layout has no PC pairs")
+	}
+	if len(fresh) != len(decoded) {
+		t.Fatalf("decoded layout has %d pairs, fresh has %d", len(decoded), len(fresh))
+	}
+	for i := range fresh {
+		if fresh[i] != decoded[i] {
+			t.Fatalf("pair %d: decoded %+v, fresh %+v", i, decoded[i], fresh[i])
+		}
+	}
+	if ds := dec.Layout().Verify(); len(ds) > 0 {
+		t.Fatalf("decoded layout fails PC-map verification: %v", ds[0])
+	}
+}

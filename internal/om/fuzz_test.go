@@ -1,0 +1,56 @@
+package om_test
+
+import (
+	"testing"
+
+	"atom/internal/om"
+	"atom/internal/rtl"
+)
+
+// FuzzDecode drives om.Decode with arbitrary bytes: the decoder's
+// contract over untrusted input is error-or-valid-Program, never a
+// panic and never an allocation sized by a corrupt length field. Seeds
+// cover a genuine blob, truncations of it, version-skewed headers, and
+// plain junk; the fuzzer mutates from there.
+func FuzzDecode(f *testing.F) {
+	if exe, err := rtl.BuildProgram("prog.c", sampleProgram); err == nil {
+		if prog, err := om.Build(exe); err == nil {
+			if blob, err := om.Encode(prog); err == nil {
+				f.Add(blob)
+				for _, n := range []int{0, 11, 12, 40, len(blob) / 2, len(blob) - 1} {
+					if n <= len(blob) {
+						f.Add(append([]byte(nil), blob[:n]...))
+					}
+				}
+			}
+		}
+	}
+	f.Add([]byte(om.FormatVersion + "\n"))
+	f.Add([]byte("atom-ir/v9\nfuture"))
+	f.Add([]byte("not an ir blob"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog, err := om.Decode(data)
+		if err != nil {
+			if prog != nil {
+				t.Fatal("Decode returned both a Program and an error")
+			}
+			return
+		}
+		if prog == nil {
+			t.Fatal("Decode returned neither a Program nor an error")
+		}
+		// Anything the decoder accepts must be internally coherent:
+		// re-encodable, and the re-encoding must decode again. (The
+		// re-encoding may differ from the input only by dropped unknown
+		// trailing sections.)
+		blob, err := om.Encode(prog)
+		if err != nil {
+			t.Fatalf("accepted blob does not re-encode: %v", err)
+		}
+		if _, err := om.Decode(blob); err != nil {
+			t.Fatalf("re-encoded blob does not decode: %v", err)
+		}
+	})
+}

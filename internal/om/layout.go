@@ -93,6 +93,20 @@ func (l *Layout) OldAddr(new uint64) (uint64, bool) {
 	return v, ok
 }
 
+// PCPairs returns the old->new PC map as a slice of pairs sorted by
+// original address — the layout's half of the atom-ir PC-map
+// scaffolding, and the form tests compare across an encode/decode round
+// trip (a layout computed from a decoded Program must map exactly like
+// one computed from the fresh lift).
+func (l *Layout) PCPairs() []PCPair {
+	out := make([]PCPair, 0, len(l.oldToNew))
+	for old, new := range l.oldToNew {
+		out = append(out, PCPair{Old: old, New: new})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Old < out[j].Old })
+	return out
+}
+
 // ProcRange is one procedure's name and [Start,End) address range, in
 // ORIGINAL (pre-instrumentation) addresses. Together with OldAddr it is
 // everything a run-time observer needs to report measurements in the
