@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race benchsmoke tracesmoke profsmoke vetsmoke inlinesmoke irsmoke bench ci
+.PHONY: all build fmt vet test race benchsmoke tracesmoke profsmoke vetsmoke inlinesmoke irsmoke persistsmoke bench ci
 
 all: build
 
@@ -98,8 +98,33 @@ irsmoke:
 		cmp $$tmp/smoke.$$t.atom $$tmp/smoke.$$t.ir.atom || exit 1; \
 	done
 
+# Persistence gate: two fresh processes share one -cache-dir; the second
+# must instrument with zero builds (artifacts decoded from disk) and
+# byte-identical output, and corrupted blobs must be quarantined and
+# silently rebuilt.
+persistsmoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	printf '#include <stdio.h>\nint main() { printf("ok\\n"); return 0; }\n' > $$tmp/smoke.c; \
+	$(GO) run ./cmd/minicc -o $$tmp/smoke.o $$tmp/smoke.c; \
+	$(GO) run ./cmd/alink -o $$tmp/smoke.x $$tmp/smoke.o; \
+	$(GO) build -o $$tmp/atom ./cmd/atom; \
+	$$tmp/atom -t branch -cache-dir $$tmp/cache -o $$tmp/smoke.cold.atom $$tmp/smoke.x; \
+	$$tmp/atom -t branch -cache-dir $$tmp/cache -stats -o $$tmp/smoke.warm.atom $$tmp/smoke.x > $$tmp/warm.stats; \
+	cmp $$tmp/smoke.cold.atom $$tmp/smoke.warm.atom; \
+	grep -q 'image cache:.*, 0 builds' $$tmp/warm.stats; \
+	grep -q 'object cache:.*, 0 builds' $$tmp/warm.stats; \
+	grep -q 'ir cache:.*, 0 builds' $$tmp/warm.stats; \
+	grep -Eq 'image cache:.* [1-9][0-9]* disk hits' $$tmp/warm.stats; \
+	grep -Eq 'ir cache:.* [1-9][0-9]* disk hits' $$tmp/warm.stats; \
+	for f in $$(find $$tmp/cache/objects -type f); do \
+		head -c 20 $$f > $$f.trunc && mv $$f.trunc $$f; \
+	done; \
+	$$tmp/atom -t branch -cache-dir $$tmp/cache -stats -o $$tmp/smoke.rebuilt.atom $$tmp/smoke.x > $$tmp/rebuild.stats; \
+	cmp $$tmp/smoke.cold.atom $$tmp/smoke.rebuilt.atom; \
+	grep -Eq 'disk store:.* [1-9][0-9]* corrupt' $$tmp/rebuild.stats
+
 # Real measurements (slow); see EXPERIMENTS.md for recorded numbers.
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-ci: fmt vet build race benchsmoke tracesmoke profsmoke vetsmoke inlinesmoke irsmoke
+ci: fmt vet build race benchsmoke tracesmoke profsmoke vetsmoke inlinesmoke irsmoke persistsmoke

@@ -142,9 +142,55 @@ func Apply(app *Executable, ti *ToolImage, opts Options, extra ...Option) (*Resu
 	return core.Apply(app, ti, opts)
 }
 
-// ImageCacheStats reports tool-image cache activity: hits, misses,
-// completed builds, and build errors.
+// ImageCacheStats reports tool-image cache activity: hits, disk hits,
+// misses, completed builds, and build errors.
 func ImageCacheStats() CacheStats { return core.ImageCacheStats() }
+
+// StoreStats is a snapshot of persistent-store counters.
+type StoreStats = build.StoreStats
+
+// WithCacheDir installs a persistent on-disk artifact store rooted at
+// dir, shared by every cache kind (tool images, compiled objects, the
+// runtime library, IR blobs): artifacts built by any process pointed at
+// the same directory are decoded from disk instead of rebuilt, so a warm
+// second process instruments with zero compiles, links, or lifts. The
+// store is content-addressed and crash-safe (write-to-temp + atomic
+// rename; blobs are SHA-256-verified on read, and corrupt ones are
+// quarantined and silently rebuilt). maxBytes > 0 bounds the store via
+// least-recently-used eviction; <= 0 means unbounded. Call CloseCacheDir
+// when done. The library never reads ATOM_CACHE_DIR itself — only the
+// atom CLI does — so programmatic users opt in explicitly here.
+func WithCacheDir(dir string, maxBytes int64) error {
+	return build.SetCacheDir(nil, dir, maxBytes)
+}
+
+// CloseCacheDir retires the persistent store installed by WithCacheDir;
+// subsequent cache traffic is memory-only.
+func CloseCacheDir() error { return build.CloseStore() }
+
+// CacheSnapshot unifies the counters of all three artifact caches, plus
+// the persistent store's own counters when one is configured.
+type CacheSnapshot struct {
+	Image   CacheStats
+	Objects CacheStats
+	IR      CacheStats
+	// Disk is nil when no persistent store is configured.
+	Disk *StoreStats
+}
+
+// Caches returns a unified snapshot of cache and store activity.
+func Caches() CacheSnapshot {
+	snap := CacheSnapshot{
+		Image:   core.ImageCacheStats(),
+		Objects: rtl.ObjectCacheStats(),
+		IR:      build.IRCacheStats(),
+	}
+	if s := build.ActiveStore(); s != nil {
+		st := s.Stats()
+		snap.Disk = &st
+	}
+	return snap
+}
 
 // Program is an application lifted to OM IR: the symbolic
 // program/procedure/block/instruction view instrumentation routines

@@ -65,8 +65,8 @@ func BenchmarkInstrument(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				core.ResetImageCache()
-				rtl.ResetObjectCache()
+				core.ResetImageCache(build.ScopeMemory)
+				rtl.ResetObjectCache(build.ScopeMemory)
 				b.StartTimer()
 				if _, err := core.Instrument(exe, tool, core.Options{}); err != nil {
 					b.Fatal(err)
@@ -121,6 +121,54 @@ func BenchmarkInstrumentSuite(b *testing.B) {
 	b.StopTimer()
 	perProg := float64(b.Elapsed().Milliseconds()) / float64(b.N) / float64(len(apps))
 	b.ReportMetric(perProg, "ms/program")
+}
+
+// BenchmarkInstrumentDiskWarm measures the third cost regime the
+// persistent store adds beside cold and memory-warm: a fresh process
+// against a warm cache directory. Every iteration drops the in-memory
+// caches (what a new process sees) and instruments with every artifact —
+// tool image, compiled objects, IR blob — decoded from a DiskStore
+// instead of rebuilt. Compare with BenchmarkInstrument/<tool>/cold
+// (everything rebuilt) and /warm (everything in memory).
+func BenchmarkInstrumentDiskWarm(b *testing.B) {
+	ds, err := build.OpenDiskStore(nil, b.TempDir(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prev := build.SwapStore(ds)
+	defer func() {
+		build.SwapStore(prev)
+		ds.Close()
+	}()
+
+	exe, err := spec.Build("eqntott")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tool, _ := tools.ByName("cache")
+	// Seed the store: one cold pass from empty memory persists every
+	// artifact.
+	core.ResetImageCache(build.ScopeMemory)
+	rtl.ResetObjectCache(build.ScopeMemory)
+	build.ResetIRCache(build.ScopeMemory)
+	if _, err := core.Instrument(exe, tool, core.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		core.ResetImageCache(build.ScopeMemory)
+		rtl.ResetObjectCache(build.ScopeMemory)
+		build.ResetIRCache(build.ScopeMemory)
+		b.StartTimer()
+		if _, err := core.Instrument(exe, tool, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if s := core.ImageCacheStats(); s.Builds != 0 {
+		b.Fatalf("disk-warm iterations rebuilt the image %d times", s.Builds)
+	}
 }
 
 // BenchmarkOverhead regenerates Figure 6: the instrumented/uninstrumented
@@ -388,7 +436,7 @@ func BenchmarkLift(b *testing.B) {
 	b.Run("cold", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
-			build.ResetIRCache()
+			build.ResetIRCache(build.ScopeMemory)
 			b.StartTimer()
 			if _, err := core.Lift(exe); err != nil {
 				b.Fatal(err)
@@ -396,7 +444,7 @@ func BenchmarkLift(b *testing.B) {
 		}
 	})
 	b.Run("warm", func(b *testing.B) {
-		build.ResetIRCache()
+		build.ResetIRCache(build.ScopeMemory)
 		if _, err := core.Lift(exe); err != nil {
 			b.Fatal(err)
 		}

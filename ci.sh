@@ -71,3 +71,24 @@ for t in $("$tmp/atom" -list | awk '{print $1}'); do
     "$tmp/atom" -vet -t "$t" -ir-in "$tmp/ir/smoke.ir" -o "$tmp/smoke.$t.ir.atom"
     cmp "$tmp/smoke.$t.atom" "$tmp/smoke.$t.ir.atom"
 done
+
+# Persistence gate: two fresh processes sharing one -cache-dir. The first
+# (cold) builds and persists every artifact; the second must instrument
+# with ZERO builds in every cache — the tool image and the IR blob served
+# from disk — and byte-identical output. Then every blob is corrupted in
+# place: the third run must quarantine what it reads, rebuild silently
+# (exit 0), and still produce identical output.
+"$tmp/atom" -t branch -cache-dir "$tmp/cache" -o "$tmp/smoke.cold.atom" "$tmp/smoke.x"
+"$tmp/atom" -t branch -cache-dir "$tmp/cache" -stats -o "$tmp/smoke.warm.atom" "$tmp/smoke.x" > "$tmp/warm.stats"
+cmp "$tmp/smoke.cold.atom" "$tmp/smoke.warm.atom"
+grep -q 'image cache:.*, 0 builds' "$tmp/warm.stats"
+grep -q 'object cache:.*, 0 builds' "$tmp/warm.stats"
+grep -q 'ir cache:.*, 0 builds' "$tmp/warm.stats"
+grep -Eq 'image cache:.* [1-9][0-9]* disk hits' "$tmp/warm.stats"
+grep -Eq 'ir cache:.* [1-9][0-9]* disk hits' "$tmp/warm.stats"
+for f in $(find "$tmp/cache/objects" -type f); do
+    head -c 20 "$f" > "$f.trunc" && mv "$f.trunc" "$f"
+done
+"$tmp/atom" -t branch -cache-dir "$tmp/cache" -stats -o "$tmp/smoke.rebuilt.atom" "$tmp/smoke.x" > "$tmp/rebuild.stats"
+cmp "$tmp/smoke.cold.atom" "$tmp/smoke.rebuilt.atom"
+grep -Eq 'disk store:.* [1-9][0-9]* corrupt' "$tmp/rebuild.stats"

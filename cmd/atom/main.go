@@ -103,6 +103,8 @@ func run() (code int) {
 		profilePath   = flag.String("profile", "", "sample the VM run and write the profile to this file (implies -run)")
 		profilePeriod = flag.Uint64("profile-period", 10000, "sampling period in retired instructions")
 		profileFormat = flag.String("profile-format", "flat", "profile report format: flat | folded")
+		cacheDir      = flag.String("cache-dir", os.Getenv("ATOM_CACHE_DIR"), "persistent artifact cache directory shared across processes (default $ATOM_CACHE_DIR; empty = in-memory only)")
+		cacheMaxMB    = flag.Int64("cache-max-mb", 0, "evict least-recently-used blobs when the persistent cache exceeds this many MiB (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -225,6 +227,16 @@ func run() (code int) {
 	var ctx *obs.Ctx
 	if len(sinks) > 0 {
 		ctx = obs.New(sinks...)
+	}
+
+	// The persistent store opens after the stage context exists, so its
+	// store.open span (and any store.get/store.put under the lookups)
+	// lands in -trace and -metrics output.
+	if *cacheDir != "" {
+		if err := build.SetCacheDir(ctx, *cacheDir, *cacheMaxMB<<20); err != nil {
+			return fail(err)
+		}
+		defer build.CloseStore()
 	}
 
 	// Fail-soft flush: from here on, no matter how the batch or the run
@@ -594,17 +606,24 @@ func instrumentFromIR(ctx *obs.Ctx, metricsSink *obs.MetricsSink, irPath string,
 	return 0
 }
 
-// printCacheStats renders the three artifact caches for -stats.
+// printCacheStats renders the three artifact caches (and, when a
+// -cache-dir store is configured, the store itself) for -stats.
 func printCacheStats() {
 	ic, oc, rc := core.ImageCacheStats(), rtl.ObjectCacheStats(), build.IRCacheStats()
-	fmt.Printf("image cache:             %d hits, %d misses, %d builds\n", ic.Hits, ic.Misses, ic.Builds)
-	fmt.Printf("object cache:            %d hits, %d misses, %d builds\n", oc.Hits, oc.Misses, oc.Builds)
-	fmt.Printf("ir cache:                %d hits, %d misses, %d builds\n", rc.Hits, rc.Misses, rc.Builds)
+	fmt.Printf("image cache:             %d hits, %d disk hits, %d misses, %d builds\n", ic.Hits, ic.DiskHits, ic.Misses, ic.Builds)
+	fmt.Printf("object cache:            %d hits, %d disk hits, %d misses, %d builds\n", oc.Hits, oc.DiskHits, oc.Misses, oc.Builds)
+	fmt.Printf("ir cache:                %d hits, %d disk hits, %d misses, %d builds\n", rc.Hits, rc.DiskHits, rc.Misses, rc.Builds)
+	if s := build.ActiveStore(); s != nil {
+		st := s.Stats()
+		fmt.Printf("disk store:              %d blobs, %d bytes, %d hits, %d misses, %d puts, %d corrupt, %d evicted\n",
+			st.Blobs, st.Bytes, st.Hits, st.Misses, st.Puts, st.Corrupt, st.Evicted)
+	}
 }
 
 // newRunDoc assembles the common part of a bench JSON run document
-// (schema atom-run/v3): per-phase totals including the lift, the three
-// cache stat blocks, counters, the inline block, and histograms.
+// (schema atom-run/v4): per-phase totals including the lift, the three
+// cache stat blocks, the disk-store block when a persistent store is
+// configured, counters, the inline block, and histograms.
 func newRunDoc(ctx *obs.Ctx, metricsSink *obs.MetricsSink, toolName string, programs []string) figures.RunDoc {
 	doc := figures.RunDoc{
 		Tool:     toolName,
@@ -619,6 +638,10 @@ func newRunDoc(ctx *obs.Ctx, metricsSink *obs.MetricsSink, toolName string, prog
 		Image:   figures.CacheStats(core.ImageCacheStats()),
 		Objects: figures.CacheStats(rtl.ObjectCacheStats()),
 		IR:      figures.CacheStats(build.IRCacheStats()),
+	}
+	if s := build.ActiveStore(); s != nil {
+		blk := figures.StoreStats(s.Stats())
+		doc.Disk = &blk
 	}
 	for _, c := range ctx.Counters() {
 		doc.Counters = append(doc.Counters, figures.BenchCounter{Name: c.Name, Value: c.Value})

@@ -1,17 +1,25 @@
 // Package build provides the content-addressed artifact cache behind the
 // staged instrumentation pipeline. The paper's two-step model builds a
 // custom tool once and applies it to any number of programs; this cache
-// is what makes "once" true in-process: compiled objects, linked analysis
-// images, and runtime-library builds are keyed by the SHA-256 of their
-// inputs (sources, options, toolchain version) and rebuilt only when any
-// input changes.
+// is what makes "once" true: compiled objects, linked analysis images,
+// and runtime-library builds are keyed by the SHA-256 of their inputs
+// (sources, options, toolchain version) and rebuilt only when any input
+// changes.
+//
+// Each Cache layers decoded in-memory values over the process-wide Store
+// (see store.go): a lookup tries memory, then — for kinds with a Codec —
+// the store, and only then runs the build, populating both on the way
+// out. With a persistent DiskStore configured, a second process against
+// the same cache directory serves every artifact from disk and builds
+// nothing.
 //
 // The cache is safe for concurrent use and deduplicates in-flight builds
-// (singleflight): when several workers ask for the same artifact at the
-// same time, exactly one runs the build function and the others wait for
-// its result. Build errors are returned to every waiter but are NOT
-// cached — a later Get with the same key retries the build, so a
-// transient failure is never latched.
+// (singleflight) across ALL Cache instances: keys are full content
+// addresses, so when several workers — even holding independent Cache
+// handles — ask for the same artifact at the same time, exactly one runs
+// the build function and the others wait for its result. Build errors
+// are returned to every waiter but are NOT cached — a later Get with the
+// same key retries the build, so a transient failure is never latched.
 package build
 
 import (
@@ -28,8 +36,8 @@ import (
 
 // ToolchainVersion is mixed into every key. Bump it when the code
 // generators (cc, asm, link) change in ways that invalidate previously
-// built artifacts; within one process it only matters for clarity, but it
-// keeps keys honest if the cache is ever persisted.
+// built artifacts; with a persistent store configured this is what keeps
+// old processes' blobs from being served to a new toolchain.
 const ToolchainVersion = "atom-toolchain-1"
 
 // Key is a content address: the SHA-256 of an artifact's inputs.
@@ -101,47 +109,60 @@ func (b *KeyBuilder) Sum() Key {
 
 // Stats is a snapshot of cache activity.
 type Stats struct {
-	Hits   uint64 // Gets served from a completed artifact
-	Misses uint64 // Gets that started a build
-	Builds uint64 // builds that completed successfully
-	Errors uint64 // builds that failed (and were not cached)
+	Hits     uint64 // Gets served from a decoded in-memory artifact
+	DiskHits uint64 // Gets served by decoding a blob from the store
+	Misses   uint64 // Gets that started a build
+	Builds   uint64 // builds that completed successfully
+	Errors   uint64 // builds that failed (and were not cached)
 }
 
-// Cache is a concurrent, singleflight, content-addressed artifact store.
-// The zero value is ready to use.
+// Cache is a concurrent, singleflight, content-addressed artifact cache:
+// decoded values in memory, layered over the process-wide Store for
+// kinds that have a Codec.
 type Cache struct {
-	name string // counter prefix; "" means the default "cache"
+	kind  string // names the store.<kind>.* counters
+	codec Codec  // nil: memory-only — the artifact has no wire form
 
-	mu      sync.Mutex
-	entries map[Key]*entry
+	mu    sync.Mutex
+	front map[Key]any // decoded values; pointer identity for hits
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
-	builds atomic.Uint64
-	errs   atomic.Uint64
+	hits     atomic.Uint64
+	diskHits atomic.Uint64
+	misses   atomic.Uint64
+	builds   atomic.Uint64
+	errs     atomic.Uint64
 }
 
-type entry struct {
+// The cross-instance singleflight table: one in-flight build per key,
+// process-wide. Keys embed their kind, so flights of different caches
+// can never alias; flights of twin caches over one store dedup exactly
+// as the store semantics require.
+var (
+	flightMu sync.Mutex
+	flights  = map[Key]*flight{}
+)
+
+type flight struct {
 	done chan struct{}
 	val  any
 	err  error
 }
 
-// NewCache returns an empty cache.
-func NewCache() *Cache { return &Cache{} }
+// NewCache returns an empty cache for one artifact kind. The kind names
+// the cache's store.<kind>.* counters; codec, if non-nil, gives the
+// artifact a wire form so it persists through the configured Store.
+func NewCache(kind string, codec Codec) *Cache {
+	return &Cache{kind: kind, codec: codec}
+}
 
-// NewNamed returns an empty cache whose lookup-outcome counters are
-// prefixed by name ("ircache.hit", "ircache.miss", ...) instead of the
-// default "cache", so different artifact stores stay distinguishable in
-// one metrics snapshot.
-func NewNamed(name string) *Cache { return &Cache{name: name} }
-
-// counterPrefix returns the prefix for this cache's outcome counters.
-func (c *Cache) counterPrefix() string {
-	if c.name == "" {
-		return "cache"
+// legacyPrefix returns the pre-unification counter prefix, emitted as an
+// alias beside the store.<kind>.* counters for one schema rev so
+// existing tooling keyed on "cache.*"/"ircache.*" keeps working.
+func (c *Cache) legacyPrefix() string {
+	if c.kind == "ir" {
+		return "ircache"
 	}
-	return c.name
+	return "cache"
 }
 
 // Get returns the artifact for key, running build at most once per key at
@@ -155,11 +176,13 @@ func (c *Cache) Get(key Key, build func() (any, error)) (any, error) {
 // GetCtx is Get with observability: each lookup opens a span named
 // "cache.get" (labelled with what artifact is being fetched and the short
 // key) whose outcome attribute records how it was served — "hit" for a
-// completed artifact, "wait" for joining an in-flight build (the
-// singleflight path), "miss" for running the build, "error" for a failed
-// build. The same outcomes feed
-// the cache.<outcome> counters. The build function receives the child
-// context, so everything it compiles or links nests under the lookup.
+// decoded in-memory artifact, "disk" for a blob decoded from the store,
+// "wait" for joining an in-flight build (the singleflight path), "miss"
+// for running the build, "error" for a failed build. The same outcomes
+// feed the store.<kind>.<outcome> counters (plus the legacy
+// cache.*/ircache.* aliases, where "disk" aliases to a hit). The build
+// function receives the child context, so everything it compiles or
+// links nests under the lookup.
 func (c *Cache) GetCtx(ctx *obs.Ctx, what string, key Key, build func(*obs.Ctx) (any, error)) (any, error) {
 	var sp *obs.Span
 	bctx := ctx
@@ -167,85 +190,158 @@ func (c *Cache) GetCtx(ctx *obs.Ctx, what string, key Key, build func(*obs.Ctx) 
 		bctx, sp = ctx.Start("cache.get",
 			obs.String("artifact", what), obs.String("key", key.Short()))
 	}
-	outcome := func(o string) {
+	outcome := func(o, legacy string) {
 		sp.SetAttr(obs.String("outcome", o))
 		sp.End()
-		ctx.Count(c.counterPrefix()+"."+o, 1)
+		ctx.Count("store."+c.kind+"."+o, 1)
+		ctx.Count(c.legacyPrefix()+"."+legacy, 1)
 	}
 
-	c.mu.Lock()
-	if c.entries == nil {
-		c.entries = map[Key]*entry{}
+	if v, ok := c.frontGet(key); ok {
+		c.hits.Add(1)
+		outcome("hit", "hit")
+		return v, nil
 	}
-	if e, ok := c.entries[key]; ok {
-		c.mu.Unlock()
-		served := "hit"
-		select {
-		case <-e.done:
-		default:
-			served = "wait" // joined a build another caller is running
+
+	// No decoded value: join the in-flight build for this key if one
+	// exists, else register ours.
+	flightMu.Lock()
+	if f, ok := flights[key]; ok {
+		flightMu.Unlock()
+		<-f.done
+		if f.err != nil {
+			outcome("error", "error")
+			return f.val, f.err
 		}
-		<-e.done
-		if e.err == nil {
-			c.hits.Add(1)
-			outcome(served)
-		} else {
-			outcome("error")
-		}
-		return e.val, e.err
+		c.frontPut(key, f.val)
+		c.hits.Add(1)
+		outcome("wait", "wait")
+		return f.val, nil
 	}
-	e := &entry{done: make(chan struct{})}
-	c.entries[key] = e
-	c.mu.Unlock()
+	f := &flight{done: make(chan struct{})}
+	flights[key] = f
+	flightMu.Unlock()
+
+	// Double-check the front: a build may have completed between the
+	// front miss and the flight registration.
+	if v, ok := c.frontGet(key); ok {
+		f.val = v
+		unregisterFlight(key, f)
+		close(f.done)
+		c.hits.Add(1)
+		outcome("hit", "hit")
+		return v, nil
+	}
+
+	// Layer two: a codec-equipped kind checks the process-wide store
+	// and decodes the blob instead of building.
+	if c.codec != nil {
+		if s := ActiveStore(); s != nil {
+			if blob, ok, _ := s.Get(bctx, key); ok {
+				if v, err := c.codec.Unmarshal(blob); err == nil {
+					c.frontPut(key, v)
+					f.val = v
+					unregisterFlight(key, f)
+					close(f.done)
+					c.diskHits.Add(1)
+					outcome("disk", "hit")
+					return v, nil
+				}
+				// Undecodable blob (a codec from another era): fall
+				// through to a rebuild; the Put below replaces it.
+			}
+		}
+	}
+
 	c.misses.Add(1)
-
-	e.val, e.err = build(bctx)
-	if e.err != nil {
+	f.val, f.err = build(bctx)
+	if f.err != nil {
 		// Unlatch before waking waiters: any Get arriving after close
 		// must find the key absent and retry the build.
-		c.mu.Lock()
-		if c.entries[key] == e {
-			delete(c.entries, key)
-		}
-		c.mu.Unlock()
+		unregisterFlight(key, f)
+		close(f.done)
 		c.errs.Add(1)
-		outcome("error")
-	} else {
-		c.builds.Add(1)
-		outcome("miss")
+		outcome("error", "error")
+		return f.val, f.err
 	}
-	close(e.done)
-	return e.val, e.err
+	c.frontPut(key, f.val)
+	if c.codec != nil {
+		if s := ActiveStore(); s != nil {
+			// Persistence is best-effort: a full disk must not fail the
+			// build that just succeeded.
+			if blob, err := c.codec.Marshal(f.val); err == nil {
+				s.Put(bctx, key, blob)
+			}
+		}
+	}
+	c.builds.Add(1)
+	unregisterFlight(key, f)
+	close(f.done)
+	outcome("miss", "miss")
+	return f.val, nil
+}
+
+func (c *Cache) frontGet(key Key) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.front[key]
+	return v, ok
+}
+
+func (c *Cache) frontPut(key Key, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.front == nil {
+		c.front = map[Key]any{}
+	}
+	c.front[key] = v
+}
+
+func unregisterFlight(key Key, f *flight) {
+	flightMu.Lock()
+	if flights[key] == f {
+		delete(flights, key)
+	}
+	flightMu.Unlock()
 }
 
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Hits:   c.hits.Load(),
-		Misses: c.misses.Load(),
-		Builds: c.builds.Load(),
-		Errors: c.errs.Load(),
+		Hits:     c.hits.Load(),
+		DiskHits: c.diskHits.Load(),
+		Misses:   c.misses.Load(),
+		Builds:   c.builds.Load(),
+		Errors:   c.errs.Load(),
 	}
 }
 
-// Len reports the number of completed or in-flight artifacts.
+// Len reports the number of decoded in-memory artifacts.
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.entries)
+	return len(c.front)
 }
 
-// Reset drops every artifact and zeroes the counters. Intended for tests
-// and cold-start benchmarks; in-flight builds complete but are not
-// re-registered.
-func (c *Cache) Reset() {
+// Reset drops cached state and zeroes the counters. ScopeMemory clears
+// the decoded values only — what a fresh process sees against a warm
+// cache directory; ScopeAll also clears the process-wide store (all
+// kinds: the store is shared). Intended for tests and cold-start
+// benchmarks; in-flight builds complete but are not re-registered.
+func (c *Cache) Reset(scope Scope) {
 	c.mu.Lock()
-	c.entries = nil
+	c.front = nil
 	c.mu.Unlock()
 	c.hits.Store(0)
+	c.diskHits.Store(0)
 	c.misses.Store(0)
 	c.builds.Store(0)
 	c.errs.Store(0)
+	if scope == ScopeAll {
+		if s := ActiveStore(); s != nil {
+			s.Clear()
+		}
+	}
 }
 
 // Memo is the typed convenience wrapper over Get.

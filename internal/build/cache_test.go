@@ -25,7 +25,7 @@ func TestKeyFieldBoundaries(t *testing.T) {
 }
 
 func TestCacheHitMiss(t *testing.T) {
-	c := NewCache()
+	c := NewCache("test", nil)
 	calls := 0
 	k1 := NewKey("t").String("one").Sum()
 	k2 := NewKey("t").String("two").Sum()
@@ -49,7 +49,7 @@ func TestCacheHitMiss(t *testing.T) {
 }
 
 func TestCacheErrorNotLatched(t *testing.T) {
-	c := NewCache()
+	c := NewCache("test", nil)
 	k := NewKey("t").String("flaky").Sum()
 	boom := errors.New("transient")
 	fail := true
@@ -77,7 +77,7 @@ func TestCacheErrorNotLatched(t *testing.T) {
 }
 
 func TestCacheSingleflight(t *testing.T) {
-	c := NewCache()
+	c := NewCache("test", nil)
 	k := NewKey("t").String("shared").Sum()
 	var builds atomic.Int64
 	release := make(chan struct{})
@@ -111,12 +111,12 @@ func TestCacheSingleflight(t *testing.T) {
 }
 
 func TestCacheReset(t *testing.T) {
-	c := NewCache()
+	c := NewCache("test", nil)
 	k := NewKey("t").String("x").Sum()
 	n := 0
 	build := func() (int, error) { n++; return n, nil }
 	Memo(c, k, build)
-	c.Reset()
+	c.Reset(ScopeMemory)
 	v, _ := Memo(c, k, build)
 	if v != 2 {
 		t.Fatalf("after Reset got %d, want rebuild (2)", v)

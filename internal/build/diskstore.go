@@ -1,0 +1,477 @@
+package build
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"atom/internal/obs"
+)
+
+// DiskStore is the persistent Store: content-addressed blobs under a
+// cache directory, shared by every process pointed at the same dir.
+//
+// On-disk layout:
+//
+//	<dir>/objects/ab/cdef…   blob files, sharded by the first key byte
+//	<dir>/journal            append-only index: "put <key> <size>" / "del <key>"
+//	<dir>/tmp/               in-flight writes (cleaned at open)
+//	<dir>/quarantine/        blobs that failed verification on read
+//
+// Each blob file is an 8-byte magic, the SHA-256 of the payload, then the
+// payload. Writers create the file in tmp/, fsync, and atomically rename
+// it into objects/, so a crash at any point leaves either the old state
+// or the new state — never a visible partial blob. Readers re-verify the
+// payload digest; a mismatch (bit flip, truncation after rename) moves
+// the file to quarantine/ and reports a miss, so the caller silently
+// rebuilds and re-puts.
+//
+// The journal exists to make open fast (no directory walk) and to carry
+// the LRU clock across processes approximately: entries later in the
+// journal are considered more recent. A missing or torn journal is not
+// fatal — the index is rebuilt by scanning objects/ — and a Get for a key
+// the journal doesn't know still checks the disk, so blobs written by a
+// concurrent process are picked up.
+type DiskStore struct {
+	dir      string
+	maxBytes int64
+
+	mu      sync.Mutex
+	index   map[Key]*blobInfo
+	seq     uint64 // LRU clock; larger = more recently used
+	total   int64  // sum of indexed blob file sizes
+	journal *os.File
+
+	hits, misses, puts, corrupt, evicted atomic.Uint64
+}
+
+type blobInfo struct {
+	size int64
+	seq  uint64
+}
+
+// blobMagic begins every blob file; it versions the header layout.
+const blobMagic = "atomblb1"
+
+// blobHeaderSize is the magic plus the payload SHA-256.
+const blobHeaderSize = len(blobMagic) + sha256.Size
+
+// OpenDiskStore opens (creating if needed) a DiskStore rooted at dir.
+// Leftover temp files from crashed writers are removed, and the index is
+// loaded from the journal — or rebuilt by scanning objects/ when the
+// journal is missing. maxBytes > 0 bounds the resident size via LRU
+// eviction on Put; <= 0 means unbounded.
+func OpenDiskStore(ctx *obs.Ctx, dir string, maxBytes int64) (*DiskStore, error) {
+	_, sp := ctx.Start("store.open", obs.String("dir", dir))
+	defer sp.End()
+
+	s := &DiskStore{dir: dir, maxBytes: maxBytes, index: map[Key]*blobInfo{}}
+	for _, sub := range []string{"objects", "tmp", "quarantine"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o777); err != nil {
+			return nil, fmt.Errorf("diskstore: %w", err)
+		}
+	}
+	// A temp file is an in-flight write that never reached its atomic
+	// rename: invisible to readers, safe to discard.
+	if ents, err := os.ReadDir(filepath.Join(dir, "tmp")); err == nil {
+		for _, e := range ents {
+			os.Remove(filepath.Join(dir, "tmp", e.Name()))
+		}
+	}
+
+	journalPath := filepath.Join(dir, "journal")
+	stale, err := s.loadJournal(journalPath)
+	if err != nil {
+		return nil, err
+	}
+	if stale < 0 {
+		// No journal: rebuild the index by scanning objects/.
+		s.scanObjects()
+		if err := s.rewriteJournal(journalPath); err != nil {
+			return nil, err
+		}
+	} else if stale > len(s.index)+64 {
+		// Mostly-dead journal (long put/del churn): compact it so the
+		// next open replays only live entries.
+		if err := s.rewriteJournal(journalPath); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(journalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	s.journal = f
+	sp.SetAttr(obs.Int("blobs", int64(len(s.index))), obs.Int("bytes", s.total))
+	return s, nil
+}
+
+// loadJournal replays the journal into the index. It returns the number
+// of stale (superseded or deleted) lines, or -1 when no journal exists.
+// Malformed lines — a torn tail from a crash mid-append — are skipped.
+func (s *DiskStore) loadJournal(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return -1, nil
+		}
+		return 0, fmt.Errorf("diskstore: %w", err)
+	}
+	defer f.Close()
+	stale := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 4096), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 {
+			continue
+		}
+		key, ok := parseHexKey(fields[1])
+		if !ok {
+			continue
+		}
+		switch fields[0] {
+		case "put":
+			if len(fields) != 3 {
+				continue
+			}
+			size, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil || size < 0 {
+				continue
+			}
+			if old, ok := s.index[key]; ok {
+				s.total -= old.size
+				stale++
+			}
+			s.seq++
+			s.index[key] = &blobInfo{size: size, seq: s.seq}
+			s.total += size
+		case "del":
+			if old, ok := s.index[key]; ok {
+				s.total -= old.size
+				delete(s.index, key)
+				stale += 2 // the put and the del are both dead
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, fmt.Errorf("diskstore: journal: %w", err)
+	}
+	return stale, nil
+}
+
+// scanObjects rebuilds the index from the objects/ tree.
+func (s *DiskStore) scanObjects() {
+	root := filepath.Join(s.dir, "objects")
+	shards, err := os.ReadDir(root)
+	if err != nil {
+		return
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() || len(shard.Name()) != 2 {
+			continue
+		}
+		ents, err := os.ReadDir(filepath.Join(root, shard.Name()))
+		if err != nil {
+			continue
+		}
+		for _, e := range ents {
+			key, ok := parseHexKey(shard.Name() + e.Name())
+			if !ok {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				continue
+			}
+			s.seq++
+			s.index[key] = &blobInfo{size: info.Size(), seq: s.seq}
+			s.total += info.Size()
+		}
+	}
+}
+
+// rewriteJournal replaces the journal with one live "put" line per
+// indexed blob, in LRU order so replay reconstructs the clock.
+func (s *DiskStore) rewriteJournal(path string) error {
+	keys := make([]Key, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return s.index[keys[i]].seq < s.index[keys[j]].seq })
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "put %s %d\n", k.String(), s.index[k].size)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(b.String()), 0o666); err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	return nil
+}
+
+func parseHexKey(h string) (Key, bool) {
+	var k Key
+	if len(h) != 2*len(k) {
+		return k, false
+	}
+	raw, err := hex.DecodeString(h)
+	if err != nil {
+		return k, false
+	}
+	copy(k[:], raw)
+	return k, true
+}
+
+// blobPath returns the sharded object path for key.
+func (s *DiskStore) blobPath(key Key) string {
+	h := key.String()
+	return filepath.Join(s.dir, "objects", h[:2], h[2:])
+}
+
+// journalLine appends a line and syncs. The caller holds s.mu.
+func (s *DiskStore) journalLine(line string) {
+	if s.journal == nil {
+		return
+	}
+	// Journal failures are deliberately non-fatal: the journal is an
+	// index accelerator, and open rebuilds it from objects/ if needed.
+	if _, err := s.journal.WriteString(line); err == nil {
+		s.journal.Sync()
+	}
+}
+
+// Get returns the blob for key, verifying its payload digest. Corrupt
+// blobs are quarantined and reported as misses, so the caller rebuilds.
+// Keys absent from the index still check the disk: another process
+// sharing the directory may have written the blob after we opened.
+func (s *DiskStore) Get(ctx *obs.Ctx, key Key) ([]byte, bool, error) {
+	_, sp := ctx.Start("store.get", obs.String("key", key.Short()))
+	defer sp.End()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := s.blobPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if info, ok := s.index[key]; ok {
+			// Journal said present but the file is gone (external
+			// cleanup): drop the entry.
+			s.total -= info.size
+			delete(s.index, key)
+			s.journalLine("del " + key.String() + "\n")
+		}
+		s.misses.Add(1)
+		ctx.Count("store.disk.miss", 1)
+		sp.SetAttr(obs.String("outcome", "miss"))
+		return nil, false, nil
+	}
+	payload, verr := verifyBlobFile(data)
+	if verr != nil {
+		s.quarantineLocked(ctx, key, path)
+		s.misses.Add(1)
+		ctx.Count("store.disk.miss", 1)
+		sp.SetAttr(obs.String("outcome", "corrupt"))
+		return nil, false, nil
+	}
+	s.seq++
+	if info, ok := s.index[key]; ok {
+		info.seq = s.seq
+	} else {
+		// Cross-process pickup: adopt the blob into our index.
+		s.index[key] = &blobInfo{size: int64(len(data)), seq: s.seq}
+		s.total += int64(len(data))
+		s.journalLine(fmt.Sprintf("put %s %d\n", key.String(), len(data)))
+	}
+	s.hits.Add(1)
+	ctx.Count("store.disk.hit", 1)
+	sp.SetAttr(obs.String("outcome", "hit"), obs.Int("bytes", int64(len(payload))))
+	return payload, true, nil
+}
+
+// verifyBlobFile checks the magic and payload digest of a raw blob file
+// and returns the payload.
+func verifyBlobFile(data []byte) ([]byte, error) {
+	if len(data) < blobHeaderSize || string(data[:len(blobMagic)]) != blobMagic {
+		return nil, fmt.Errorf("diskstore: bad blob header")
+	}
+	payload := data[blobHeaderSize:]
+	sum := sha256.Sum256(payload)
+	if string(sum[:]) != string(data[len(blobMagic):blobHeaderSize]) {
+		return nil, fmt.Errorf("diskstore: blob digest mismatch")
+	}
+	return payload, nil
+}
+
+// quarantineLocked moves a corrupt blob file aside and drops it from the
+// index. The caller holds s.mu.
+func (s *DiskStore) quarantineLocked(ctx *obs.Ctx, key Key, path string) {
+	dst := filepath.Join(s.dir, "quarantine", key.String())
+	if err := os.Rename(path, dst); err != nil {
+		os.Remove(path) // can't move it aside; at least unlatch the key
+	}
+	if info, ok := s.index[key]; ok {
+		s.total -= info.size
+		delete(s.index, key)
+	}
+	s.journalLine("del " + key.String() + "\n")
+	s.corrupt.Add(1)
+	ctx.Count("store.disk.corrupt", 1)
+}
+
+// Put writes blob under key via write-to-temp, fsync, atomic rename. An
+// already-present key is a no-op (content addressing: the bytes are
+// identical by construction). When the store is size-bounded, Put evicts
+// least-recently-used blobs until back under the bound.
+func (s *DiskStore) Put(ctx *obs.Ctx, key Key, blob []byte) error {
+	_, sp := ctx.Start("store.put",
+		obs.String("key", key.Short()), obs.Int("bytes", int64(len(blob))))
+	defer sp.End()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[key]; ok {
+		sp.SetAttr(obs.String("outcome", "present"))
+		return nil
+	}
+
+	sum := sha256.Sum256(blob)
+	data := make([]byte, 0, blobHeaderSize+len(blob))
+	data = append(data, blobMagic...)
+	data = append(data, sum[:]...)
+	data = append(data, blob...)
+
+	tmp, err := os.CreateTemp(filepath.Join(s.dir, "tmp"), "blob-*")
+	if err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	path := s.blobPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("diskstore: %w", err)
+	}
+
+	s.seq++
+	s.index[key] = &blobInfo{size: int64(len(data)), seq: s.seq}
+	s.total += int64(len(data))
+	s.journalLine(fmt.Sprintf("put %s %d\n", key.String(), len(data)))
+	s.puts.Add(1)
+	ctx.Count("store.disk.put", 1)
+	sp.SetAttr(obs.String("outcome", "stored"))
+	s.pruneLocked(ctx)
+	return nil
+}
+
+// pruneLocked evicts least-recently-used blobs until the resident size is
+// under maxBytes. The most recent blob is never evicted, so a Put always
+// sticks. The caller holds s.mu.
+func (s *DiskStore) pruneLocked(ctx *obs.Ctx) {
+	if s.maxBytes <= 0 {
+		return
+	}
+	for s.total > s.maxBytes && len(s.index) > 1 {
+		var victim Key
+		var vinfo *blobInfo
+		for k, info := range s.index {
+			if vinfo == nil || info.seq < vinfo.seq {
+				victim, vinfo = k, info
+			}
+		}
+		os.Remove(s.blobPath(victim))
+		s.total -= vinfo.size
+		delete(s.index, victim)
+		s.journalLine("del " + victim.String() + "\n")
+		s.evicted.Add(1)
+		ctx.Count("store.disk.evict", 1)
+	}
+}
+
+// Has reports whether key is indexed. (A blob written by a concurrent
+// process after open may exist on disk without being indexed yet; Get
+// still finds it.)
+func (s *DiskStore) Has(key Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// Clear removes every blob and truncates the journal.
+func (s *DiskStore) Clear() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for k := range s.index {
+		if err := os.Remove(s.blobPath(k)); err != nil && first == nil && !os.IsNotExist(err) {
+			first = err
+		}
+	}
+	s.index = map[Key]*blobInfo{}
+	s.total = 0
+	if s.journal != nil {
+		if err := s.journal.Truncate(0); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Stats returns a snapshot of the counters.
+func (s *DiskStore) Stats() StoreStats {
+	s.mu.Lock()
+	blobs, bytes := len(s.index), s.total
+	s.mu.Unlock()
+	return StoreStats{
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Puts:    s.puts.Load(),
+		Corrupt: s.corrupt.Load(),
+		Evicted: s.evicted.Load(),
+		Blobs:   blobs,
+		Bytes:   bytes,
+	}
+}
+
+// Close syncs and closes the journal. The store must not be used after.
+func (s *DiskStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return nil
+	}
+	err := s.journal.Sync()
+	if cerr := s.journal.Close(); err == nil {
+		err = cerr
+	}
+	s.journal = nil
+	return err
+}
+
+// Dir returns the store's root directory.
+func (s *DiskStore) Dir() string { return s.dir }

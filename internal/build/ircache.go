@@ -12,12 +12,17 @@ import "atom/internal/obs"
 // not Programs: instrumentation mutates a Program (actions are attached
 // to its instructions), so every consumer decodes a fresh, private copy.
 //
+// Because the blobs are already wire-stable, the identity BlobCodec
+// persists them through the configured Store unchanged: with a cache
+// directory set, a second process skips the lift entirely.
+//
 // This package stays IR-agnostic — keys and blobs are opaque here; the
 // digesting and the encode/decode live with their types (internal/core,
 // internal/om). Lookups run under the usual "cache.get" span but count
-// through the "ircache.*" counters, so -metrics and bench JSON report
-// IR-cache traffic separately from tool-image traffic.
-var irCache = NewNamed("ircache")
+// through the "store.ir.*" counters (legacy alias "ircache.*"), so
+// -metrics and bench JSON report IR-cache traffic separately from
+// tool-image traffic.
+var irCache = NewCache("ir", BlobCodec{})
 
 // IRKey derives the content address of an encoded IR blob from the
 // executable's digest and the format/lifter versions. Any of the three
@@ -39,10 +44,10 @@ func IRBlobCtx(ctx *obs.Ctx, key Key, lift func(*obs.Ctx) ([]byte, error)) ([]by
 	return MemoCtx(ctx, irCache, "ir", key, lift)
 }
 
-// IRCacheStats reports IR-blob cache activity (hits, misses, builds,
-// errors) since the last reset.
+// IRCacheStats reports IR-blob cache activity (hits, disk hits, misses,
+// builds, errors) since the last reset.
 func IRCacheStats() Stats { return irCache.Stats() }
 
-// ResetIRCache drops every cached blob and zeroes the counters. Tests
-// and cold-start benchmarks use it.
-func ResetIRCache() { irCache.Reset() }
+// ResetIRCache drops cached blobs per scope and zeroes the counters.
+// Tests and cold-start benchmarks use it.
+func ResetIRCache(scope Scope) { irCache.Reset(scope) }

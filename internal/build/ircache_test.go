@@ -27,8 +27,8 @@ func TestIRKeyDistinct(t *testing.T) {
 }
 
 func TestIRBlobCachesAndDedups(t *testing.T) {
-	ResetIRCache()
-	defer ResetIRCache()
+	ResetIRCache(ScopeMemory)
+	defer ResetIRCache(ScopeMemory)
 
 	key := NewKey("ir-test").Sum()
 	var lifts int
@@ -63,7 +63,7 @@ func TestIRBlobCachesAndDedups(t *testing.T) {
 		t.Fatalf("stats = %+v, want 1 build, 1 miss, 7 hits", s)
 	}
 
-	ResetIRCache()
+	ResetIRCache(ScopeMemory)
 	if s := IRCacheStats(); s != (Stats{}) {
 		t.Fatalf("stats after reset = %+v, want zeros", s)
 	}
@@ -73,8 +73,8 @@ func TestIRBlobCachesAndDedups(t *testing.T) {
 // -metrics and bench JSON distinguish IR-cache traffic from the
 // tool-image cache's "cache." counters.
 func TestIRCacheCounters(t *testing.T) {
-	ResetIRCache()
-	defer ResetIRCache()
+	ResetIRCache(ScopeMemory)
+	defer ResetIRCache(ScopeMemory)
 
 	ctx := obs.New()
 	key := NewKey("ir-counter-test").Sum()

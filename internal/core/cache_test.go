@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"atom/internal/build"
 	"atom/internal/core"
 )
 
@@ -34,7 +35,7 @@ int main() {
 // links the analysis image exactly once; changing the sources, the
 // options, or the tool forces exactly one more build.
 func TestToolImageCacheReuse(t *testing.T) {
-	core.ResetImageCache()
+	core.ResetImageCache(build.ScopeMemory)
 	tool := branchCountTool()
 	appA := buildApp(t, cacheAppA)
 	appB := buildApp(t, cacheAppB)
@@ -108,7 +109,7 @@ func TestToolImageCacheReuse(t *testing.T) {
 // Instrument.
 func TestApplyMatchesInstrument(t *testing.T) {
 	for _, mode := range []core.SaveMode{core.SaveWrapper, core.SaveInAnalysis} {
-		core.ResetImageCache()
+		core.ResetImageCache(build.ScopeMemory)
 		tool := branchCountTool()
 		opts := core.Options{Mode: mode}
 		app := buildApp(t, cacheAppA)
@@ -136,7 +137,7 @@ func TestApplyMatchesInstrument(t *testing.T) {
 
 // TestBuildToolImageCached: building the same image twice is one build.
 func TestBuildToolImageCached(t *testing.T) {
-	core.ResetImageCache()
+	core.ResetImageCache(build.ScopeMemory)
 	tool := branchCountTool()
 	a, err := core.BuildToolImage(tool, core.Options{})
 	if err != nil {

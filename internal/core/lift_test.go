@@ -16,8 +16,8 @@ int main() { return work(10) - 45; }
 `
 
 func TestLiftCachesBlob(t *testing.T) {
-	build.ResetIRCache()
-	defer build.ResetIRCache()
+	build.ResetIRCache(build.ScopeMemory)
+	defer build.ResetIRCache(build.ScopeMemory)
 
 	app, err := rtl.BuildProgram("lift.c", liftTestProgram)
 	if err != nil {
@@ -51,8 +51,8 @@ func TestLiftCachesBlob(t *testing.T) {
 }
 
 func TestLiftBlobStable(t *testing.T) {
-	build.ResetIRCache()
-	defer build.ResetIRCache()
+	build.ResetIRCache(build.ScopeMemory)
+	defer build.ResetIRCache(build.ScopeMemory)
 
 	app, err := rtl.BuildProgram("lift.c", liftTestProgram)
 	if err != nil {
@@ -96,8 +96,8 @@ func TestLiftBlobStable(t *testing.T) {
 // blob is a drop-in substitute for a fresh lift — InstrumentProgram
 // over it produces a byte-identical executable.
 func TestDecodedProgramInstruments(t *testing.T) {
-	build.ResetIRCache()
-	defer build.ResetIRCache()
+	build.ResetIRCache(build.ScopeMemory)
+	defer build.ResetIRCache(build.ScopeMemory)
 
 	app, err := rtl.BuildProgram("lift.c", liftTestProgram)
 	if err != nil {

@@ -61,16 +61,16 @@ func (ti *ToolImage) CacheKey() string { return ti.key.String() }
 // Instrumenting a whole program suite with one tool builds the image for
 // the first program and reuses it for the rest — concurrently, thanks to
 // the cache's singleflight semantics.
-var imageCache = build.NewCache()
+var imageCache = build.NewCache("image", imageCodec{})
 
-// ImageCacheStats reports tool-image cache activity (hits, misses,
-// builds, errors) since the last reset.
+// ImageCacheStats reports tool-image cache activity (hits, disk hits,
+// misses, builds, errors) since the last reset.
 func ImageCacheStats() build.Stats { return imageCache.Stats() }
 
-// ResetImageCache drops every cached tool image and zeroes the counters.
-// Tests and cold-start benchmarks use it; production callers never need
-// to.
-func ResetImageCache() { imageCache.Reset() }
+// ResetImageCache drops cached tool images per scope and zeroes the
+// counters. Tests and cold-start benchmarks use it; production callers
+// never need to.
+func ResetImageCache(scope build.Scope) { imageCache.Reset(scope) }
 
 // calledTargets returns the sorted set of analysis procedures the plan
 // actually calls.
@@ -96,6 +96,7 @@ func calledTargets(q *Instrumentation) []string {
 // target-independent, so any program mix shares one image.
 func imageKey(tool Tool, opts Options, protos map[string]*Proto, targets []string) build.Key {
 	b := build.NewKey("toolimage").
+		String(imageCodecVersion).
 		String(tool.Name).
 		Int(int64(opts.Mode)).
 		Bool(opts.NoRegSummary)
@@ -135,7 +136,7 @@ func imageKey(tool Tool, opts Options, protos map[string]*Proto, targets []strin
 func toolImageFor(ctx *obs.Ctx, tool Tool, opts Options, q *Instrumentation) (*ToolImage, error) {
 	targets := calledTargets(q)
 	key := imageKey(tool, opts, q.protos, targets)
-	return build.MemoCtx(ctx, imageCache, "toolimage", key, func(bctx *obs.Ctx) (*ToolImage, error) {
+	ti, err := build.MemoCtx(ctx, imageCache, "toolimage", key, func(bctx *obs.Ctx) (*ToolImage, error) {
 		ti, err := buildToolImage(bctx, tool, opts, q.protos, targets)
 		if err != nil {
 			return nil, err
@@ -143,11 +144,26 @@ func toolImageFor(ctx *obs.Ctx, tool Tool, opts Options, q *Instrumentation) (*T
 		ti.key = key
 		return ti, nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	if ti.tool.Instrument == nil {
+		// The image was decoded from the persistent store, which cannot
+		// carry the tool's Go closure. Re-attach the identity on a
+		// private copy — the cached value is shared across goroutines,
+		// so it is never mutated in place. The content address already
+		// proves this tool's sources and options produced the image.
+		c := *ti
+		c.tool = tool
+		c.key = key
+		ti = &c
+	}
+	return ti, nil
 }
 
 // probeCache holds the tiny probe application BuildToolImage runs a
 // tool's instrumentation routine against to learn its prototypes.
-var probeCache = build.NewCache()
+var probeCache = build.NewCache("probe", probeCodec{})
 
 // BuildToolImage compiles and links a tool's analysis image without an
 // application in hand — the explicit form of the paper's first step
@@ -166,7 +182,8 @@ func BuildToolImageCtx(ctx *obs.Ctx, tool Tool, opts Options) (*ToolImage, error
 	if tool.Instrument == nil {
 		return nil, fmt.Errorf("atom: tool %q has no instrumentation routine", tool.Name)
 	}
-	probe, err := build.MemoCtx(ctx, probeCache, "probe-app", build.NewKey("probe-app").Sum(),
+	probe, err := build.MemoCtx(ctx, probeCache, "probe-app",
+		build.NewKey("probe-app").String(probeCodecVersion).Sum(),
 		func(bctx *obs.Ctx) (*aout.File, error) {
 			return rtl.BuildProgramCtx(bctx, "atom$probe.c", "int main() { return 0; }")
 		})

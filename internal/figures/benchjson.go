@@ -20,7 +20,7 @@ import (
 // notably atom.site_live_regs and atom.site_saved_regs, the per-site
 // caller-save live-set and save-set sizes the liveness analysis acts on.
 type BenchJSON struct {
-	Schema string           `json:"schema"` // "atom-bench/v3"
+	Schema string           `json:"schema"` // "atom-bench/v4"
 	Fig5   []BenchFig5Row   `json:"fig5,omitempty"`
 	Fig6   []BenchFig6Row   `json:"fig6,omitempty"`
 	Hists  []BenchHistogram `json:"histograms,omitempty"`
@@ -38,16 +38,40 @@ type BenchPhases struct {
 }
 
 // BenchCacheStats is a snapshot of one artifact cache's activity.
+// DiskHits (schema v4) counts lookups served by decoding a blob from the
+// persistent store; it is zero — and omitted — without a -cache-dir.
 type BenchCacheStats struct {
-	Hits   uint64 `json:"hits"`
-	Misses uint64 `json:"misses"`
-	Builds uint64 `json:"builds"`
-	Errors uint64 `json:"errors,omitempty"`
+	Hits     uint64 `json:"hits"`
+	DiskHits uint64 `json:"disk_hits,omitempty"`
+	Misses   uint64 `json:"misses"`
+	Builds   uint64 `json:"builds"`
+	Errors   uint64 `json:"errors,omitempty"`
 }
 
 // CacheStats converts a cache snapshot into its JSON form.
 func CacheStats(s build.Stats) BenchCacheStats {
-	return BenchCacheStats{Hits: s.Hits, Misses: s.Misses, Builds: s.Builds, Errors: s.Errors}
+	return BenchCacheStats{Hits: s.Hits, DiskHits: s.DiskHits, Misses: s.Misses, Builds: s.Builds, Errors: s.Errors}
+}
+
+// BenchStoreStats is a snapshot of the persistent store's activity
+// (schema v4): blob-level traffic underneath the per-kind cache stats.
+type BenchStoreStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Puts    uint64 `json:"puts"`
+	Corrupt uint64 `json:"corrupt,omitempty"`
+	Evicted uint64 `json:"evicted,omitempty"`
+	Blobs   int    `json:"blobs"`
+	Bytes   int64  `json:"bytes"`
+}
+
+// StoreStats converts a store snapshot into its JSON form.
+func StoreStats(s build.StoreStats) BenchStoreStats {
+	return BenchStoreStats{
+		Hits: s.Hits, Misses: s.Misses, Puts: s.Puts,
+		Corrupt: s.Corrupt, Evicted: s.Evicted,
+		Blobs: s.Blobs, Bytes: s.Bytes,
+	}
 }
 
 // BenchFig5Row mirrors Fig5Row with durations in milliseconds.
@@ -59,11 +83,15 @@ type BenchFig5Row struct {
 	AvgMS       float64         `json:"avg_ms"`        // warm rewrite per program
 	LiftColdMS  float64         `json:"lift_cold_ms"`  // suite lift, empty IR cache
 	LiftWarmMS  float64         `json:"lift_warm_ms"`  // suite lift, cached blobs
+	LiftDiskMS  float64         `json:"lift_disk_ms"`  // suite lift, memory cold, blobs on disk
 	PaperAvgSec float64         `json:"paper_avg_sec"` // published reference
 	Phases      BenchPhases     `json:"phases"`
 	ImageCache  BenchCacheStats `json:"image_cache"`
 	ObjectCache BenchCacheStats `json:"object_cache"`
 	IRCache     BenchCacheStats `json:"ir_cache"`
+	// DiskStore is the private DiskStore's traffic during the disk-warm
+	// lift sweep (schema v4).
+	DiskStore BenchStoreStats `json:"disk_store"`
 }
 
 // BenchFig6Row mirrors Fig6Row.
@@ -80,7 +108,7 @@ func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond)
 // WriteBenchJSON writes Figure 5/6 measurements as JSON to path. Either
 // row slice (and the histogram snapshot) may be nil.
 func WriteBenchJSON(path string, fig5 []Fig5Row, fig6 []Fig6Row, hists []obs.Hist) error {
-	doc := BenchJSON{Schema: "atom-bench/v3", Hists: Histograms(hists)}
+	doc := BenchJSON{Schema: "atom-bench/v4", Hists: Histograms(hists)}
 	if len(doc.Hists) == 0 {
 		doc.Hists = nil
 	}
@@ -94,6 +122,7 @@ func WriteBenchJSON(path string, fig5 []Fig5Row, fig6 []Fig6Row, hists []obs.His
 			PaperAvgSec: PaperFig5[r.Tool].Avg,
 			LiftColdMS:  ms(r.LiftCold),
 			LiftWarmMS:  ms(r.LiftWarm),
+			LiftDiskMS:  ms(r.LiftDisk),
 			Phases: BenchPhases{
 				LiftMS:  ms(r.LiftTime),
 				BuildMS: ms(r.ImageBuild),
@@ -103,6 +132,7 @@ func WriteBenchJSON(path string, fig5 []Fig5Row, fig6 []Fig6Row, hists []obs.His
 			ImageCache:  CacheStats(r.ImageCache),
 			ObjectCache: CacheStats(r.ObjectCache),
 			IRCache:     CacheStats(r.IRCache),
+			DiskStore:   StoreStats(r.DiskStore),
 		})
 	}
 	for _, r := range fig6 {
@@ -121,15 +151,18 @@ func WriteBenchJSON(path string, fig5 []Fig5Row, fig6 []Fig6Row, hists []obs.His
 // writes: one instrument-mode run with its per-phase breakdown and cache
 // statistics.
 type RunDoc struct {
-	Schema   string           `json:"schema"` // "atom-run/v3"
-	Tool     string           `json:"tool"`
-	Programs []string         `json:"programs"`
-	Failed   []string         `json:"failed,omitempty"`
-	Phases   BenchPhases      `json:"phases"`
-	Inline   *BenchInline     `json:"inline,omitempty"`
-	Image    BenchCacheStats  `json:"image_cache"`
-	Objects  BenchCacheStats  `json:"object_cache"`
-	IR       BenchCacheStats  `json:"ir_cache"`
+	Schema   string          `json:"schema"` // "atom-run/v4"
+	Tool     string          `json:"tool"`
+	Programs []string        `json:"programs"`
+	Failed   []string        `json:"failed,omitempty"`
+	Phases   BenchPhases     `json:"phases"`
+	Inline   *BenchInline    `json:"inline,omitempty"`
+	Image    BenchCacheStats `json:"image_cache"`
+	Objects  BenchCacheStats `json:"object_cache"`
+	IR       BenchCacheStats `json:"ir_cache"`
+	// Disk is the persistent store's traffic; nil without a -cache-dir
+	// (schema v4).
+	Disk     *BenchStoreStats `json:"disk_store,omitempty"`
 	Counters []BenchCounter   `json:"counters,omitempty"`
 	Hists    []BenchHistogram `json:"histograms,omitempty"`
 }
@@ -184,10 +217,13 @@ func Histograms(hs []obs.Hist) []BenchHistogram {
 }
 
 // WriteRunJSON writes an instrument-mode run document. Schema history:
-// v1 had no inline block; v2 added it; v3 adds the lift phase (lift_ms)
-// and the IR-blob cache block (ir_cache).
+// v1 had no inline block; v2 added it; v3 added the lift phase (lift_ms)
+// and the IR-blob cache block (ir_cache); v4 adds disk_hits to the cache
+// blocks and the disk_store block for -cache-dir runs. The legacy
+// cache.*/ircache.* counter names are still emitted beside the unified
+// store.<kind>.* names for this schema rev.
 func WriteRunJSON(path string, doc RunDoc) error {
-	doc.Schema = "atom-run/v3"
+	doc.Schema = "atom-run/v4"
 	return writeJSON(path, doc)
 }
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"atom/internal/build"
 	"atom/internal/rtl"
 )
 
@@ -12,7 +13,7 @@ import (
 // must not be latched (the sync.Once this replaced returned the first
 // error forever). A later call retries and succeeds.
 func TestRuntimeBuildRetriesAfterFailure(t *testing.T) {
-	rtl.ResetRuntimeCache()
+	rtl.ResetRuntimeCache(build.ScopeMemory)
 	boom := errors.New("transient build failure")
 	rtl.SetBuildFault(func() error { return boom })
 	defer rtl.SetBuildFault(nil)
@@ -40,7 +41,7 @@ func TestRuntimeBuildRetriesAfterFailure(t *testing.T) {
 // TestBuildObjectsMemoized: compiling the same sources twice returns the
 // shared objects without recompiling; different sources recompile.
 func TestBuildObjectsMemoized(t *testing.T) {
-	rtl.ResetObjectCache()
+	rtl.ResetObjectCache(build.ScopeMemory)
 	src := map[string]string{"m.c": "int f() { return 41; }\n"}
 	a, err := rtl.BuildObjects(src)
 	if err != nil {

@@ -44,8 +44,8 @@ type runtime struct {
 }
 
 var (
-	rtCache  = build.NewCache()
-	objCache = build.NewCache()
+	rtCache  = build.NewCache("runtime", runtimeCodec{})
+	objCache = build.NewCache("object", objectsCodec{})
 
 	// buildFault, when non-nil, is consulted at the start of a runtime
 	// build. Tests use it to inject a transient failure and verify that
@@ -53,7 +53,7 @@ var (
 	buildFault func() error
 )
 
-var runtimeKey = build.NewKey("rtl-runtime").Sum()
+var runtimeKey = build.NewKey("rtl-runtime").String(runtimeCodecVersion).Sum()
 
 func parts(ctx *obs.Ctx) (*runtime, error) {
 	return build.MemoCtx(ctx, rtCache, "rtl-runtime", runtimeKey, buildRuntime)
@@ -181,6 +181,7 @@ func BuildObjectsCtx(ctx *obs.Ctx, srcs map[string]string) ([]*aout.File, error)
 	}
 	sort.Strings(names)
 	kb := build.NewKey("objects")
+	kb.String(objectsCodecVersion)
 	kb.Int(int64(len(names)))
 	for _, n := range names {
 		kb.String(n).String(srcs[n])
@@ -214,10 +215,10 @@ func BuildObjectsCtx(ctx *obs.Ctx, srcs map[string]string) ([]*aout.File, error)
 // ObjectCacheStats reports compiled-object cache activity.
 func ObjectCacheStats() build.Stats { return objCache.Stats() }
 
-// ResetObjectCache drops the compiled-object cache (not the runtime
-// library, whose build is part of process setup, not of any tool). Used
-// by cold-start benchmarks.
-func ResetObjectCache() { objCache.Reset() }
+// ResetObjectCache drops the compiled-object cache per scope (not the
+// runtime library, whose build is part of process setup, not of any
+// tool). Used by tests and cold-start benchmarks.
+func ResetObjectCache(scope build.Scope) { objCache.Reset(scope) }
 
 // BuildProgram compiles a single-file MiniC program and links it (with
 // crt0 and the runtime library) into an executable.

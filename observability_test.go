@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"atom/internal/build"
 	"atom/internal/core"
 	"atom/internal/obs"
 	"atom/internal/rtl"
@@ -91,8 +92,8 @@ func TestObservabilitySpanTree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	core.ResetImageCache()
-	rtl.ResetObjectCache()
+	core.ResetImageCache(build.ScopeMemory)
+	rtl.ResetObjectCache(build.ScopeMemory)
 
 	cold := &obs.TraceSink{}
 	ctx := obs.New(cold)

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"atom"
+	"atom/internal/build"
 	"atom/internal/core"
 	"atom/internal/spec"
 )
@@ -17,7 +18,7 @@ func TestSuiteBuildsImageOnce(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds the whole suite")
 	}
-	core.ResetImageCache()
+	core.ResetImageCache(build.ScopeMemory)
 	tool, err := atom.ToolByName("cache")
 	if err != nil {
 		t.Fatal(err)
@@ -69,7 +70,7 @@ func TestInstrumentSuiteParallelMatchesSerial(t *testing.T) {
 
 	type outcome struct{ text, data []byte }
 	serial := map[string][]outcome{}
-	core.ResetImageCache()
+	core.ResetImageCache(build.ScopeMemory)
 	for _, tn := range toolNames {
 		tool, err := atom.ToolByName(tn)
 		if err != nil {
@@ -85,7 +86,7 @@ func TestInstrumentSuiteParallelMatchesSerial(t *testing.T) {
 	}
 
 	// Now in parallel from a cold cache, all three tools concurrently.
-	core.ResetImageCache()
+	core.ResetImageCache(build.ScopeMemory)
 	done := make(chan error, len(toolNames))
 	parallel := make([][]*atom.Result, len(toolNames))
 	for ti, tn := range toolNames {
