@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race benchsmoke tracesmoke profsmoke vetsmoke inlinesmoke irsmoke persistsmoke bench ci
+.PHONY: all build fmt vet test race benchsmoke tracesmoke profsmoke vetsmoke inlinesmoke irsmoke persistsmoke telemetrysmoke bench ci
 
 all: build
 
@@ -123,8 +123,48 @@ persistsmoke:
 	cmp $$tmp/smoke.cold.atom $$tmp/smoke.rebuilt.atom; \
 	grep -Eq 'disk store:.* [1-9][0-9]* corrupt' $$tmp/rebuild.stats
 
+# Telemetry gate: a batch brings the debug server up and down cleanly
+# (batch counters land in the metrics snapshot), then a long VM run with
+# -debug-addr is scraped mid-flight: /healthz, /metrics twice (second
+# monotonically >= first on every _total, series ordering identical),
+# and 100 NDJSON events — via atom's own -scrape, so no curl needed.
+telemetrysmoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	printf '#include <stdio.h>\nint main() { printf("ok\\n"); return 0; }\n' > $$tmp/smoke.c; \
+	$(GO) run ./cmd/minicc -o $$tmp/smoke.o $$tmp/smoke.c; \
+	$(GO) run ./cmd/alink -o $$tmp/smoke.x $$tmp/smoke.o; \
+	$(GO) build -o $$tmp/atom ./cmd/atom; \
+	cp $$tmp/smoke.x $$tmp/smoke2.x; cp $$tmp/smoke.x $$tmp/smoke3.x; \
+	$$tmp/atom -t branch -j 2 -debug-addr 127.0.0.1:0 -metrics $$tmp/batch.metrics \
+		$$tmp/smoke.x $$tmp/smoke2.x $$tmp/smoke3.x 2> $$tmp/batch.err; \
+	grep -q 'telemetry listening on http://' $$tmp/batch.err; \
+	grep -Eq 'atom\.batch\.done +3' $$tmp/batch.metrics; \
+	printf '#include <stdio.h>\nint main() { long i, s = 0; for (i = 0; i < 5000000; i++) s += i; printf("%%ld\\n", s); return 0; }\n' > $$tmp/long.c; \
+	$(GO) run ./cmd/minicc -o $$tmp/long.o $$tmp/long.c; \
+	$(GO) run ./cmd/alink -o $$tmp/long.x $$tmp/long.o; \
+	$$tmp/atom -t branch -run -debug-addr 127.0.0.1:0 $$tmp/long.x > /dev/null 2> $$tmp/tel.err & telpid=$$!; \
+	addr=""; i=0; \
+	while [ $$i -lt 200 ]; do \
+		addr=$$(sed -n 's|.*telemetry listening on http://||p' $$tmp/tel.err); \
+		[ -n "$$addr" ] && break; i=$$((i + 1)); sleep 0.1; \
+	done; \
+	test -n "$$addr"; \
+	$$tmp/atom -scrape http://$$addr/healthz | grep -qx ok; \
+	$$tmp/atom -scrape http://$$addr/metrics > $$tmp/m1.txt; \
+	$$tmp/atom -scrape "http://$$addr/debug/events?n=100" > $$tmp/ev.txt; \
+	$$tmp/atom -scrape http://$$addr/metrics > $$tmp/m2.txt; \
+	test "$$(wc -l < $$tmp/ev.txt)" -eq 100; \
+	test "$$(grep -c '"seq"' $$tmp/ev.txt)" -eq 100; \
+	grep -q '^atom_store_image_miss_total' $$tmp/m1.txt; \
+	awk '!/^\#/{print $$1}' $$tmp/m1.txt > $$tmp/names1; \
+	awk '!/^\#/{print $$1}' $$tmp/m2.txt > $$tmp/names2; \
+	grep -Fxf $$tmp/names1 $$tmp/names2 > $$tmp/names2.common; \
+	cmp $$tmp/names1 $$tmp/names2.common; \
+	awk 'NR==FNR { if ($$1 ~ /_total/) v[$$1]=$$2; next } ($$1 in v) && ($$2+0 < v[$$1]+0) { print "regressed:", $$1, v[$$1], "->", $$2; bad=1 } END { exit bad }' $$tmp/m1.txt $$tmp/m2.txt; \
+	wait $$telpid
+
 # Real measurements (slow); see EXPERIMENTS.md for recorded numbers.
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-ci: fmt vet build race benchsmoke tracesmoke profsmoke vetsmoke inlinesmoke irsmoke persistsmoke
+ci: fmt vet build race benchsmoke tracesmoke profsmoke vetsmoke inlinesmoke irsmoke persistsmoke telemetrysmoke

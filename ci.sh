@@ -92,3 +92,49 @@ done
 "$tmp/atom" -t branch -cache-dir "$tmp/cache" -stats -o "$tmp/smoke.rebuilt.atom" "$tmp/smoke.x" > "$tmp/rebuild.stats"
 cmp "$tmp/smoke.cold.atom" "$tmp/smoke.rebuilt.atom"
 grep -Eq 'disk store:.* [1-9][0-9]* corrupt' "$tmp/rebuild.stats"
+
+# Telemetry gate: the embedded debug server, live. First a multi-program
+# instrument batch brings the server up and down cleanly and counts its
+# programs (atom.batch.done) in the metrics snapshot. Then a long VM run
+# with -debug-addr is scraped mid-flight — /healthz, /metrics twice (the
+# second monotonically >= the first on every _total, and the series
+# ordering byte-identical), and 100 NDJSON events — using atom's own
+# -scrape so the gate needs no curl; the run must still exit 0.
+cp "$tmp/smoke.x" "$tmp/smoke2.x"
+cp "$tmp/smoke.x" "$tmp/smoke3.x"
+"$tmp/atom" -t branch -j 2 -debug-addr 127.0.0.1:0 -metrics "$tmp/batch.metrics" \
+    "$tmp/smoke.x" "$tmp/smoke2.x" "$tmp/smoke3.x" 2> "$tmp/batch.err"
+grep -q 'telemetry listening on http://' "$tmp/batch.err"
+grep -Eq 'atom\.batch\.done +3' "$tmp/batch.metrics"
+cat > "$tmp/long.c" <<'EOF'
+#include <stdio.h>
+int main() { long i, s = 0; for (i = 0; i < 5000000; i++) s += i; printf("%ld\n", s); return 0; }
+EOF
+go run ./cmd/minicc -o "$tmp/long.o" "$tmp/long.c"
+go run ./cmd/alink -o "$tmp/long.x" "$tmp/long.o"
+"$tmp/atom" -t branch -run -debug-addr 127.0.0.1:0 "$tmp/long.x" > /dev/null 2> "$tmp/tel.err" &
+telpid=$!
+addr=""
+i=0
+while [ $i -lt 200 ]; do
+    addr=$(sed -n 's|.*telemetry listening on http://||p' "$tmp/tel.err")
+    [ -n "$addr" ] && break
+    i=$((i + 1))
+    sleep 0.1
+done
+test -n "$addr"
+"$tmp/atom" -scrape "http://$addr/healthz" | grep -qx ok
+"$tmp/atom" -scrape "http://$addr/metrics" > "$tmp/m1.txt"
+"$tmp/atom" -scrape "http://$addr/debug/events?n=100" > "$tmp/ev.txt"
+"$tmp/atom" -scrape "http://$addr/metrics" > "$tmp/m2.txt"
+test "$(wc -l < "$tmp/ev.txt")" -eq 100
+test "$(grep -c '"seq"' "$tmp/ev.txt")" -eq 100
+grep -q '^atom_store_image_miss_total' "$tmp/m1.txt"
+awk '!/^#/{print $1}' "$tmp/m1.txt" > "$tmp/names1"
+awk '!/^#/{print $1}' "$tmp/m2.txt" > "$tmp/names2"
+grep -Fxf "$tmp/names1" "$tmp/names2" > "$tmp/names2.common"
+cmp "$tmp/names1" "$tmp/names2.common"
+awk 'NR==FNR { if ($1 ~ /_total/) v[$1]=$2; next }
+     ($1 in v) && ($2+0 < v[$1]+0) { print "regressed:", $1, v[$1], "->", $2; bad=1 }
+     END { exit bad }' "$tmp/m1.txt" "$tmp/m2.txt"
+wait "$telpid"

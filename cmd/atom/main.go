@@ -25,11 +25,22 @@
 // The pipeline is observable end to end:
 //
 //	atom -t cache -trace t.json prog.x   # Chrome trace (chrome://tracing)
-//	atom -t cache -metrics prog.x        # span/counter/histogram snapshot
+//	atom -t cache -metrics - prog.x      # span/counter/histogram snapshot
 //	atom -t cache -cpuprofile cpu.pprof prog.x
 //	atom -t cache -bench-json run.json prog.x  # per-phase JSON breakdown
 //	atom -t cache -vet prog.x            # verify IR, PC maps, rewritten text
 //	atom -verify-trace t.json            # validate a trace file (CI smoke)
+//
+// and observable live: -debug-addr starts an embedded debug server with
+// Prometheus /metrics, a streaming NDJSON event feed, /healthz, and
+// net/http/pprof, while -log emits structured logs as the pipeline runs:
+//
+//	atom -t cache -j 4 -debug-addr 127.0.0.1:6060 prog1.x prog2.x ...
+//	atom -scrape http://127.0.0.1:6060/metrics   # built-in curl (CI smoke)
+//	atom -t cache -log json -log-level info prog.x
+//
+// -trace - streams the trace JSON to stdout and -metrics - prints the
+// snapshot to stderr; both also accept ordinary file paths.
 //
 // The lift stage is serializable: -emit-ir writes each input's OM IR as
 // a stable atom-ir/v1 blob, and -ir-in instruments from such a blob in
@@ -50,11 +61,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime/pprof"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"atom/internal/aout"
@@ -65,6 +82,7 @@ import (
 	"atom/internal/om"
 	"atom/internal/prof"
 	"atom/internal/rtl"
+	"atom/internal/telemetry"
 	"atom/internal/tools"
 	"atom/internal/vm"
 )
@@ -94,8 +112,12 @@ func run() (code int) {
 		layout        = flag.Bool("layout", false, "print the instrumented executable's memory layout (Figure 4)")
 		verbose       = flag.Bool("v", false, "progress output for -table")
 		progress      = flag.Bool("progress", false, "live status line on stderr for multi-program instrument batches")
-		tracePath     = flag.String("trace", "", "write a Chrome trace_event JSON of the pipeline to this file")
-		metrics       = flag.Bool("metrics", false, "print a span/counter/histogram metrics snapshot to stderr")
+		tracePath     = flag.String("trace", "", `write a Chrome trace_event JSON of the pipeline to this file ("-" = stdout)`)
+		metrics       = flag.String("metrics", "", `write a span/counter/histogram metrics snapshot to this file ("-" = stderr)`)
+		debugAddr     = flag.String("debug-addr", "", "serve live telemetry on this address (host:port; port 0 picks one): Prometheus /metrics, /debug/events NDJSON stream, /debug/pprof/, /healthz")
+		logFormat     = flag.String("log", "", "emit structured logs to stderr in this format: text | json (default: off)")
+		logLevel      = flag.String("log-level", "info", "minimum structured-log level: debug | info | warn | error")
+		scrapeURL     = flag.String("scrape", "", "fetch a URL and copy the body to stdout, then exit (CI smoke; no curl needed)")
 		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile of atom itself to this file")
 		verifyTrace   = flag.String("verify-trace", "", "validate a trace file written by -trace and exit (CI smoke)")
 		verifyFolded  = flag.String("verify-folded", "", "validate a folded-stack profile written by -profile-format=folded and exit (CI smoke)")
@@ -114,6 +136,8 @@ func run() (code int) {
 			fmt.Printf("%-8s  %s\n", t.Name, t.Description)
 		}
 		return 0
+	case *scrapeURL != "":
+		return scrape(*scrapeURL)
 	case *verifyTrace != "":
 		if err := checkTrace(*verifyTrace); err != nil {
 			fmt.Fprintln(os.Stderr, "atom:", err)
@@ -214,15 +238,33 @@ func run() (code int) {
 	var (
 		traceSink   *obs.TraceSink
 		metricsSink *obs.MetricsSink
+		logger      *slog.Logger
 		sinks       []obs.Sink
 	)
 	if *tracePath != "" {
 		traceSink = &obs.TraceSink{}
 		sinks = append(sinks, traceSink)
 	}
-	if *metrics || *benchJSON != "" {
+	if *metrics != "" || *benchJSON != "" {
 		metricsSink = &obs.MetricsSink{}
 		sinks = append(sinks, metricsSink)
+	}
+	if *logFormat != "" {
+		level, err := telemetry.ParseLevel(*logLevel)
+		if err != nil {
+			return fail(err)
+		}
+		logger, err = telemetry.NewLogger(os.Stderr, *logFormat, level)
+		if err != nil {
+			return fail(err)
+		}
+		sinks = append(sinks, &telemetry.LogSink{L: logger})
+	}
+	if *debugAddr != "" {
+		// The debug server exposes the process-wide registry and event
+		// stream; attaching them here makes the CLI's pipeline activity
+		// visible on the same endpoints the library API serves.
+		sinks = append(sinks, telemetry.Default().Sink(), telemetry.DefaultStream())
 	}
 	var ctx *obs.Ctx
 	if len(sinks) > 0 {
@@ -236,25 +278,71 @@ func run() (code int) {
 		if err := build.SetCacheDir(ctx, *cacheDir, *cacheMaxMB<<20); err != nil {
 			return fail(err)
 		}
-		defer build.CloseStore()
+	}
+	if *debugAddr != "" {
+		srv, err := telemetry.StartDefaultServer(*debugAddr)
+		if err != nil {
+			return fail(err)
+		}
+		// The resolved address matters with port 0; scripts poll stderr
+		// for this line to find the endpoints.
+		fmt.Fprintf(os.Stderr, "atom: telemetry listening on http://%s\n", srv.Addr())
 	}
 
-	// Fail-soft flush: from here on, no matter how the batch or the run
-	// ends — a program erroring mid-run included — the trace file is
-	// written and the metrics snapshot printed. A flush failure makes the
-	// exit status non-zero without masking the primary outcome.
-	defer func() {
-		if *tracePath != "" {
-			if err := traceSink.WriteFile(*tracePath); err != nil {
-				fmt.Fprintln(os.Stderr, "atom:", err)
-				if code == 0 {
-					code = 1
+	// Fail-soft flush: no matter how the batch or the run ends — a
+	// program erroring mid-run, or a SIGINT/SIGTERM, included — the trace
+	// file is written, the metrics snapshot printed, the persistent store
+	// closed (journal flushed), and the debug server shut down. The
+	// sync.Once makes the flush safe to reach from both the normal defer
+	// and the signal handler; a flush failure makes the exit status
+	// non-zero without masking the primary outcome.
+	var flushOnce sync.Once
+	flush := func() {
+		flushOnce.Do(func() {
+			if *tracePath != "" {
+				if err := writeTrace(traceSink, *tracePath); err != nil {
+					fmt.Fprintln(os.Stderr, "atom:", err)
+					if code == 0 {
+						code = 1
+					}
 				}
 			}
+			if *metrics != "" {
+				if err := writeMetricsSnapshot(ctx, metricsSink, *metrics); err != nil {
+					fmt.Fprintln(os.Stderr, "atom:", err)
+					if code == 0 {
+						code = 1
+					}
+				}
+			}
+			if *cacheDir != "" {
+				if err := build.CloseStore(); err != nil {
+					fmt.Fprintln(os.Stderr, "atom:", err)
+					if code == 0 {
+						code = 1
+					}
+				}
+			}
+			if *debugAddr != "" {
+				telemetry.StopDefaultServer()
+			}
+		})
+	}
+	defer flush()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		s, ok := <-sigc
+		if !ok {
+			return
 		}
-		if *metrics {
-			obs.WriteMetrics(os.Stderr, metricsSink, ctx.Counters(), ctx.Histograms())
+		flush()
+		status := 1
+		if sig, isSig := s.(syscall.Signal); isSig {
+			status = 128 + int(sig)
 		}
+		os.Exit(status)
 	}()
 
 	if *emitIR != "" {
@@ -307,16 +395,31 @@ func run() (code int) {
 	}
 	results := make([]*core.Result, len(inputs))
 	if len(good) > 0 {
-		var onDone func(int, error)
-		if *progress && len(inputs) > 1 {
-			var done atomic.Int64
-			total := len(good)
-			onDone = func(int, error) {
-				fmt.Fprintf(os.Stderr, "\ratom: instrumented %d/%d", done.Add(1), total)
+		goodNames := make([]string, len(good))
+		for k, i := range goodIdx {
+			goodNames[k] = inputs[i]
+		}
+		// Per-program completion counters stream over /debug/events as
+		// the batch runs, so a live reader watches progress without the
+		// -progress status line.
+		var done atomic.Int64
+		total := len(good)
+		progressLine := *progress && len(inputs) > 1
+		onDone := func(k int, err error) {
+			n := done.Add(1)
+			if err != nil {
+				ctx.Count("atom.batch.failed", 1)
+			} else {
+				ctx.Count("atom.batch.done", 1)
 			}
+			if progressLine {
+				fmt.Fprintf(os.Stderr, "\ratom: instrumented %d/%d", n, total)
+			}
+		}
+		if progressLine {
 			defer fmt.Fprintln(os.Stderr)
 		}
-		res, rerrs := core.InstrumentManyProgress(ctx, good, tool, opts, *jobs, onDone)
+		res, rerrs := core.InstrumentManyNamed(ctx, good, goodNames, tool, opts, *jobs, onDone)
 		for k, i := range goodIdx {
 			results[i] = res[k]
 			if rerrs[k] != nil {
@@ -329,6 +432,9 @@ func run() (code int) {
 	for i, res := range results {
 		if errs[i] != nil {
 			fmt.Fprintf(os.Stderr, "atom: %s: %v\n", inputs[i], errs[i])
+			if logger != nil {
+				logger.Error("program failed", slog.String("program", inputs[i]), slog.String("err", errs[i].Error()))
+			}
 			failed++
 			continue
 		}
@@ -615,13 +721,63 @@ func printCacheStats() {
 	fmt.Printf("ir cache:                %d hits, %d disk hits, %d misses, %d builds\n", rc.Hits, rc.DiskHits, rc.Misses, rc.Builds)
 	if s := build.ActiveStore(); s != nil {
 		st := s.Stats()
-		fmt.Printf("disk store:              %d blobs, %d bytes, %d hits, %d misses, %d puts, %d corrupt, %d evicted\n",
-			st.Blobs, st.Bytes, st.Hits, st.Misses, st.Puts, st.Corrupt, st.Evicted)
+		fmt.Printf("disk store:              %d blobs, %d bytes, %d hits, %d misses, %d puts, %d corrupt, %d adopted, %d evicted\n",
+			st.Blobs, st.Bytes, st.Hits, st.Misses, st.Puts, st.Corrupt, st.Adopted, st.Evicted)
 	}
 }
 
+// writeTrace writes the Chrome trace document, honoring the "-" path as
+// stdout so a run's trace can pipe straight into another tool.
+func writeTrace(t *obs.TraceSink, path string) error {
+	if path == "-" {
+		data, err := t.MarshalTrace()
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return t.WriteFile(path)
+}
+
+// writeMetricsSnapshot writes the end-of-run metrics snapshot, honoring
+// the "-" path as stderr (keeping the snapshot out of the program's
+// stdout, which run mode owns).
+func writeMetricsSnapshot(ctx *obs.Ctx, m *obs.MetricsSink, path string) error {
+	if path == "-" {
+		return obs.WriteMetrics(os.Stderr, m, ctx.Counters(), ctx.Histograms())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = obs.WriteMetrics(f, m, ctx.Counters(), ctx.Histograms())
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// scrape fetches a URL and copies the body to stdout: the CI smoke's
+// curl substitute, so the telemetry gate needs no tools beyond atom
+// itself. Exit status is non-zero for transport errors and non-200s.
+func scrape(url string) int {
+	resp, err := http.Get(url)
+	if err != nil {
+		return fail(err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		return fail(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fail(fmt.Errorf("%s: %s", url, resp.Status))
+	}
+	return 0
+}
+
 // newRunDoc assembles the common part of a bench JSON run document
-// (schema atom-run/v4): per-phase totals including the lift, the three
+// (schema atom-run/v5): per-phase totals including the lift, the three
 // cache stat blocks, the disk-store block when a persistent store is
 // configured, counters, the inline block, and histograms.
 func newRunDoc(ctx *obs.Ctx, metricsSink *obs.MetricsSink, toolName string, programs []string) figures.RunDoc {

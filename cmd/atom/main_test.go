@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"atom/internal/obs"
+)
+
+// captureFD swaps one of the process's standard streams for a pipe
+// around fn and returns what fn wrote to it.
+func captureFD(t *testing.T, std **os.File, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := *std
+	*std = w
+	defer func() { *std = orig }()
+	fn()
+	w.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestWriteTraceDash: -trace - streams the trace JSON to stdout instead
+// of creating a file literally named "-" (the pre-v5 behavior).
+func TestWriteTraceDash(t *testing.T) {
+	sink := &obs.TraceSink{}
+	ctx := obs.New(sink)
+	_, sp := ctx.Start("atom.apply")
+	sp.End()
+
+	dir := t.TempDir()
+	cwd, _ := os.Getwd()
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd)
+
+	out := captureFD(t, &os.Stdout, func() {
+		if err := writeTrace(sink, "-"); err != nil {
+			t.Errorf("writeTrace(-): %v", err)
+		}
+	})
+	if !strings.Contains(out, "traceEvents") || !strings.Contains(out, "atom.apply") {
+		t.Fatalf("stdout trace = %q, want trace JSON", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "-")); !os.IsNotExist(err) {
+		t.Fatal("a literal file named \"-\" was created")
+	}
+
+	// A real path still writes a file.
+	path := filepath.Join(dir, "t.json")
+	if err := writeTrace(sink, path); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := os.ReadFile(path); err != nil || !strings.Contains(string(data), "traceEvents") {
+		t.Fatalf("file trace = %q, %v", data, err)
+	}
+}
+
+// TestWriteMetricsDash: -metrics - prints the snapshot to stderr and
+// creates no "-" file; a real path writes a file.
+func TestWriteMetricsDash(t *testing.T) {
+	sink := &obs.MetricsSink{}
+	ctx := obs.New(sink)
+	ctx.Count("store.image.hit", 4)
+
+	dir := t.TempDir()
+	cwd, _ := os.Getwd()
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd)
+
+	out := captureFD(t, &os.Stderr, func() {
+		if err := writeMetricsSnapshot(ctx, sink, "-"); err != nil {
+			t.Errorf("writeMetricsSnapshot(-): %v", err)
+		}
+	})
+	if !strings.Contains(out, "store.image.hit") {
+		t.Fatalf("stderr metrics = %q, want counter snapshot", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "-")); !os.IsNotExist(err) {
+		t.Fatal("a literal file named \"-\" was created")
+	}
+
+	path := filepath.Join(dir, "m.txt")
+	if err := writeMetricsSnapshot(ctx, sink, path); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := os.ReadFile(path); err != nil || !strings.Contains(string(data), "store.image.hit") {
+		t.Fatalf("file metrics = %q, %v", data, err)
+	}
+}
+
+// TestOutputName pins the output-naming rule the batch loop relies on.
+func TestOutputName(t *testing.T) {
+	for _, tc := range []struct{ in, explicit, want string }{
+		{"prog.x", "", "prog.atom"},
+		{"dir.v2/prog.x", "", "dir.v2/prog.atom"},
+		{"prog", "", "prog.atom"},
+		{"prog.x", "out.bin", "out.bin"},
+	} {
+		if got := outputName(tc.in, tc.explicit); got != tc.want {
+			t.Errorf("outputName(%q, %q) = %q, want %q", tc.in, tc.explicit, got, tc.want)
+		}
+	}
+}

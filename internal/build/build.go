@@ -155,16 +155,6 @@ func NewCache(kind string, codec Codec) *Cache {
 	return &Cache{kind: kind, codec: codec}
 }
 
-// legacyPrefix returns the pre-unification counter prefix, emitted as an
-// alias beside the store.<kind>.* counters for one schema rev so
-// existing tooling keyed on "cache.*"/"ircache.*" keeps working.
-func (c *Cache) legacyPrefix() string {
-	if c.kind == "ir" {
-		return "ircache"
-	}
-	return "cache"
-}
-
 // Get returns the artifact for key, running build at most once per key at
 // a time. Concurrent Gets for the same key share one build. A failed
 // build's error is returned to every caller that observed it, then the
@@ -179,10 +169,11 @@ func (c *Cache) Get(key Key, build func() (any, error)) (any, error) {
 // decoded in-memory artifact, "disk" for a blob decoded from the store,
 // "wait" for joining an in-flight build (the singleflight path), "miss"
 // for running the build, "error" for a failed build. The same outcomes
-// feed the store.<kind>.<outcome> counters (plus the legacy
-// cache.*/ircache.* aliases, where "disk" aliases to a hit). The build
-// function receives the child context, so everything it compiles or
-// links nests under the lookup.
+// feed the store.<kind>.<outcome> counters — since bench-JSON schema v5
+// those are the ONLY counter names; the pre-unification
+// cache.*/ircache.* aliases are gone. The build function receives the
+// child context, so everything it compiles or links nests under the
+// lookup.
 func (c *Cache) GetCtx(ctx *obs.Ctx, what string, key Key, build func(*obs.Ctx) (any, error)) (any, error) {
 	var sp *obs.Span
 	bctx := ctx
@@ -190,16 +181,15 @@ func (c *Cache) GetCtx(ctx *obs.Ctx, what string, key Key, build func(*obs.Ctx) 
 		bctx, sp = ctx.Start("cache.get",
 			obs.String("artifact", what), obs.String("key", key.Short()))
 	}
-	outcome := func(o, legacy string) {
+	outcome := func(o string) {
 		sp.SetAttr(obs.String("outcome", o))
 		sp.End()
 		ctx.Count("store."+c.kind+"."+o, 1)
-		ctx.Count(c.legacyPrefix()+"."+legacy, 1)
 	}
 
 	if v, ok := c.frontGet(key); ok {
 		c.hits.Add(1)
-		outcome("hit", "hit")
+		outcome("hit")
 		return v, nil
 	}
 
@@ -210,12 +200,12 @@ func (c *Cache) GetCtx(ctx *obs.Ctx, what string, key Key, build func(*obs.Ctx) 
 		flightMu.Unlock()
 		<-f.done
 		if f.err != nil {
-			outcome("error", "error")
+			outcome("error")
 			return f.val, f.err
 		}
 		c.frontPut(key, f.val)
 		c.hits.Add(1)
-		outcome("wait", "wait")
+		outcome("wait")
 		return f.val, nil
 	}
 	f := &flight{done: make(chan struct{})}
@@ -229,7 +219,7 @@ func (c *Cache) GetCtx(ctx *obs.Ctx, what string, key Key, build func(*obs.Ctx) 
 		unregisterFlight(key, f)
 		close(f.done)
 		c.hits.Add(1)
-		outcome("hit", "hit")
+		outcome("hit")
 		return v, nil
 	}
 
@@ -244,7 +234,7 @@ func (c *Cache) GetCtx(ctx *obs.Ctx, what string, key Key, build func(*obs.Ctx) 
 					unregisterFlight(key, f)
 					close(f.done)
 					c.diskHits.Add(1)
-					outcome("disk", "hit")
+					outcome("disk")
 					return v, nil
 				}
 				// Undecodable blob (a codec from another era): fall
@@ -261,7 +251,7 @@ func (c *Cache) GetCtx(ctx *obs.Ctx, what string, key Key, build func(*obs.Ctx) 
 		unregisterFlight(key, f)
 		close(f.done)
 		c.errs.Add(1)
-		outcome("error", "error")
+		outcome("error")
 		return f.val, f.err
 	}
 	c.frontPut(key, f.val)
@@ -277,7 +267,7 @@ func (c *Cache) GetCtx(ctx *obs.Ctx, what string, key Key, build func(*obs.Ctx) 
 	c.builds.Add(1)
 	unregisterFlight(key, f)
 	close(f.done)
-	outcome("miss", "miss")
+	outcome("miss")
 	return f.val, nil
 }
 

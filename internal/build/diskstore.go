@@ -50,7 +50,7 @@ type DiskStore struct {
 	total   int64  // sum of indexed blob file sizes
 	journal *os.File
 
-	hits, misses, puts, corrupt, evicted atomic.Uint64
+	hits, misses, puts, corrupt, adopted, evicted atomic.Uint64
 }
 
 type blobInfo struct {
@@ -289,10 +289,15 @@ func (s *DiskStore) Get(ctx *obs.Ctx, key Key) ([]byte, bool, error) {
 	if info, ok := s.index[key]; ok {
 		info.seq = s.seq
 	} else {
-		// Cross-process pickup: adopt the blob into our index.
+		// Cross-process pickup: adopt the blob into our index. The
+		// adoption is reported as an event of its own — it is the
+		// observable signature of another process sharing the store.
 		s.index[key] = &blobInfo{size: int64(len(data)), seq: s.seq}
 		s.total += int64(len(data))
 		s.journalLine(fmt.Sprintf("put %s %d\n", key.String(), len(data)))
+		s.adopted.Add(1)
+		ctx.Count("store.disk.adopt", 1)
+		sp.SetAttr(obs.Bool("adopted", true))
 	}
 	s.hits.Add(1)
 	ctx.Count("store.disk.hit", 1)
@@ -452,6 +457,7 @@ func (s *DiskStore) Stats() StoreStats {
 		Misses:  s.misses.Load(),
 		Puts:    s.puts.Load(),
 		Corrupt: s.corrupt.Load(),
+		Adopted: s.adopted.Load(),
 		Evicted: s.evicted.Load(),
 		Blobs:   blobs,
 		Bytes:   bytes,

@@ -19,9 +19,8 @@ import "atom/internal/obs"
 // This package stays IR-agnostic — keys and blobs are opaque here; the
 // digesting and the encode/decode live with their types (internal/core,
 // internal/om). Lookups run under the usual "cache.get" span but count
-// through the "store.ir.*" counters (legacy alias "ircache.*"), so
-// -metrics and bench JSON report IR-cache traffic separately from
-// tool-image traffic.
+// through the "store.ir.*" counters, so -metrics and bench JSON report
+// IR-cache traffic separately from tool-image traffic.
 var irCache = NewCache("ir", BlobCodec{})
 
 // IRKey derives the content address of an encoded IR blob from the

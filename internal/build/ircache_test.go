@@ -2,6 +2,7 @@ package build
 
 import (
 	"bytes"
+	"strings"
 	"sync"
 	"testing"
 
@@ -69,9 +70,9 @@ func TestIRBlobCachesAndDedups(t *testing.T) {
 	}
 }
 
-// TestIRCacheCounters: lookups count under the "ircache." prefix, so
+// TestIRCacheCounters: lookups count under the "store.ir." prefix, so
 // -metrics and bench JSON distinguish IR-cache traffic from the
-// tool-image cache's "cache." counters.
+// tool-image cache's "store.image." counters.
 func TestIRCacheCounters(t *testing.T) {
 	ResetIRCache(ScopeMemory)
 	defer ResetIRCache(ScopeMemory)
@@ -88,10 +89,15 @@ func TestIRCacheCounters(t *testing.T) {
 	for _, c := range ctx.Counters() {
 		got[c.Name] = c.Value
 	}
-	if got["ircache.miss"] != 1 || got["ircache.hit"] != 2 {
-		t.Fatalf("counters = %v, want ircache.miss=1 ircache.hit=2", got)
+	if got["store.ir.miss"] != 1 || got["store.ir.hit"] != 2 {
+		t.Fatalf("counters = %v, want store.ir.miss=1 store.ir.hit=2", got)
 	}
-	if got["cache.miss"] != 0 || got["cache.hit"] != 0 {
-		t.Fatalf("IR lookups leaked into the default cache counters: %v", got)
+	if got["store.image.miss"] != 0 || got["store.image.hit"] != 0 {
+		t.Fatalf("IR lookups leaked into the image cache counters: %v", got)
+	}
+	for name := range got {
+		if strings.HasPrefix(name, "ircache.") || strings.HasPrefix(name, "cache.") {
+			t.Fatalf("legacy alias counter %q emitted; store.<kind>.* is the only name since schema v5", name)
+		}
 	}
 }

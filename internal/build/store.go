@@ -32,6 +32,7 @@ type StoreStats struct {
 	Misses  uint64 // Gets for absent blobs
 	Puts    uint64 // blobs written
 	Corrupt uint64 // blobs that failed verification and were quarantined
+	Adopted uint64 // blobs written by a concurrent process and picked up on Get
 	Evicted uint64 // blobs removed by the size-bounded prune
 	Blobs   int    // blobs currently resident
 	Bytes   int64  // approximate resident size (blob files, with headers)

@@ -494,3 +494,67 @@ func BenchmarkDiskStoreGet(b *testing.B) {
 		}
 	}
 }
+
+// TestDiskStoreAdoption: two DiskStore handles over one directory stand
+// in for two processes sharing a cache. A blob written through one is
+// picked up by the other's Get — and that pickup is observable: the
+// Adopted stat, the store.disk.adopt counter, and the adopted span
+// attribute all record it.
+func TestDiskStoreAdoption(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenDiskStore(nil, dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := OpenDiskStore(nil, dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	k := testKey("adopt-me")
+	if err := a.Put(nil, k, []byte("shared blob")); err != nil {
+		t.Fatal(err)
+	}
+
+	trace := &obs.TraceSink{}
+	ctx := obs.New(trace)
+	got, ok, err := b.Get(ctx, k)
+	if err != nil || !ok || !bytes.Equal(got, []byte("shared blob")) {
+		t.Fatalf("Get = %q, %v, %v; want the blob a put", got, ok, err)
+	}
+	if st := b.Stats(); st.Adopted != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 adopted, 1 hit", st)
+	}
+	counts := map[string]int64{}
+	for _, c := range ctx.Counters() {
+		counts[c.Name] = c.Value
+	}
+	if counts["store.disk.adopt"] != 1 || counts["store.disk.hit"] != 1 {
+		t.Fatalf("counters = %v, want store.disk.adopt=1 and store.disk.hit=1", counts)
+	}
+	adopted := false
+	for _, sd := range trace.Spans() {
+		for _, at := range sd.Attrs {
+			if at.Key == "adopted" && at.Val == "true" {
+				adopted = true
+			}
+		}
+	}
+	if !adopted {
+		t.Fatal("no span carried the adopted attribute")
+	}
+
+	// A second Get is an ordinary indexed hit: no further adoption.
+	if _, ok, _ := b.Get(nil, k); !ok {
+		t.Fatal("second Get missed")
+	}
+	if st := b.Stats(); st.Adopted != 1 || st.Hits != 2 {
+		t.Fatalf("stats after re-Get = %+v, want adoption still 1", st)
+	}
+	// The writer's own store never counts adoption for its own blobs.
+	if _, ok, _ := a.Get(nil, k); !ok || a.Stats().Adopted != 0 {
+		t.Fatalf("writer stats = %+v, want 0 adopted", a.Stats())
+	}
+}

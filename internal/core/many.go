@@ -31,6 +31,16 @@ func InstrumentMany(ctx *obs.Ctx, apps []*aout.File, tool Tool, opts Options, wo
 // the worker goroutine that instrumented it, so it must be safe for
 // concurrent use. A nil onDone is allowed.
 func InstrumentManyProgress(ctx *obs.Ctx, apps []*aout.File, tool Tool, opts Options, workers int, onDone func(i int, err error)) (results []*Result, errs []error) {
+	return InstrumentManyNamed(ctx, apps, nil, tool, opts, workers, onDone)
+}
+
+// InstrumentManyNamed is InstrumentManyProgress with per-application
+// display names (typically input file paths), parallel to apps. Each
+// application's "atom.instrument" span carries its name as the
+// "program" attribute, so live event streams and traces attribute work
+// to a file rather than a bare batch index. A nil or short names slice
+// leaves the affected spans without the attribute.
+func InstrumentManyNamed(ctx *obs.Ctx, apps []*aout.File, names []string, tool Tool, opts Options, workers int, onDone func(i int, err error)) (results []*Result, errs []error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -46,9 +56,14 @@ func InstrumentManyProgress(ctx *obs.Ctx, apps []*aout.File, tool Tool, opts Opt
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				ictx, sp := ctx.Start("atom.instrument",
+				attrs := []obs.Attr{
 					obs.String("tool", tool.Name),
-					obs.Int("app", int64(i)))
+					obs.Int("app", int64(i)),
+				}
+				if i < len(names) && names[i] != "" {
+					attrs = append(attrs, obs.String("program", names[i]))
+				}
+				ictx, sp := ctx.Start("atom.instrument", attrs...)
 				res, err := InstrumentCtx(ictx, apps[i], tool, opts)
 				sp.End()
 				if err != nil {

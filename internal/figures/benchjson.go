@@ -20,7 +20,7 @@ import (
 // notably atom.site_live_regs and atom.site_saved_regs, the per-site
 // caller-save live-set and save-set sizes the liveness analysis acts on.
 type BenchJSON struct {
-	Schema string           `json:"schema"` // "atom-bench/v4"
+	Schema string           `json:"schema"` // "atom-bench/v5"
 	Fig5   []BenchFig5Row   `json:"fig5,omitempty"`
 	Fig6   []BenchFig6Row   `json:"fig6,omitempty"`
 	Hists  []BenchHistogram `json:"histograms,omitempty"`
@@ -55,11 +55,14 @@ func CacheStats(s build.Stats) BenchCacheStats {
 
 // BenchStoreStats is a snapshot of the persistent store's activity
 // (schema v4): blob-level traffic underneath the per-kind cache stats.
+// Adopted (schema v5) counts blobs written by a concurrent process and
+// picked up on Get.
 type BenchStoreStats struct {
 	Hits    uint64 `json:"hits"`
 	Misses  uint64 `json:"misses"`
 	Puts    uint64 `json:"puts"`
 	Corrupt uint64 `json:"corrupt,omitempty"`
+	Adopted uint64 `json:"adopted,omitempty"`
 	Evicted uint64 `json:"evicted,omitempty"`
 	Blobs   int    `json:"blobs"`
 	Bytes   int64  `json:"bytes"`
@@ -69,7 +72,7 @@ type BenchStoreStats struct {
 func StoreStats(s build.StoreStats) BenchStoreStats {
 	return BenchStoreStats{
 		Hits: s.Hits, Misses: s.Misses, Puts: s.Puts,
-		Corrupt: s.Corrupt, Evicted: s.Evicted,
+		Corrupt: s.Corrupt, Adopted: s.Adopted, Evicted: s.Evicted,
 		Blobs: s.Blobs, Bytes: s.Bytes,
 	}
 }
@@ -108,7 +111,7 @@ func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond)
 // WriteBenchJSON writes Figure 5/6 measurements as JSON to path. Either
 // row slice (and the histogram snapshot) may be nil.
 func WriteBenchJSON(path string, fig5 []Fig5Row, fig6 []Fig6Row, hists []obs.Hist) error {
-	doc := BenchJSON{Schema: "atom-bench/v4", Hists: Histograms(hists)}
+	doc := BenchJSON{Schema: "atom-bench/v5", Hists: Histograms(hists)}
 	if len(doc.Hists) == 0 {
 		doc.Hists = nil
 	}
@@ -151,7 +154,7 @@ func WriteBenchJSON(path string, fig5 []Fig5Row, fig6 []Fig6Row, hists []obs.His
 // writes: one instrument-mode run with its per-phase breakdown and cache
 // statistics.
 type RunDoc struct {
-	Schema   string          `json:"schema"` // "atom-run/v4"
+	Schema   string          `json:"schema"` // "atom-run/v5"
 	Tool     string          `json:"tool"`
 	Programs []string        `json:"programs"`
 	Failed   []string        `json:"failed,omitempty"`
@@ -218,12 +221,14 @@ func Histograms(hs []obs.Hist) []BenchHistogram {
 
 // WriteRunJSON writes an instrument-mode run document. Schema history:
 // v1 had no inline block; v2 added it; v3 added the lift phase (lift_ms)
-// and the IR-blob cache block (ir_cache); v4 adds disk_hits to the cache
-// blocks and the disk_store block for -cache-dir runs. The legacy
-// cache.*/ircache.* counter names are still emitted beside the unified
-// store.<kind>.* names for this schema rev.
+// and the IR-blob cache block (ir_cache); v4 added disk_hits to the
+// cache blocks and the disk_store block for -cache-dir runs, and emitted
+// the legacy cache.*/ircache.* counter names beside the unified
+// store.<kind>.* names; v5 drops the legacy aliases — store.<kind>.*
+// is the only counter family — and adds the adopted field to
+// disk_store.
 func WriteRunJSON(path string, doc RunDoc) error {
-	doc.Schema = "atom-run/v4"
+	doc.Schema = "atom-run/v5"
 	return writeJSON(path, doc)
 }
 

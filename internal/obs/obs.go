@@ -59,6 +59,28 @@ type Sink interface {
 	SpanEnd(sd SpanData)
 }
 
+// SpanBeginSink is an optional Sink extension: sinks that also implement
+// it are notified when a span OPENS (Dur is zero in the delivered
+// SpanData; attributes added later via SetAttr appear only at SpanEnd).
+// The live event stream uses this to show work in flight.
+type SpanBeginSink interface {
+	SpanBegin(sd SpanData)
+}
+
+// CounterSink is an optional Sink extension: sinks that also implement
+// it receive every Count call as a delta, in call order per goroutine.
+// The process-wide registry and the live event stream aggregate these
+// without polling the Ctx.
+type CounterSink interface {
+	CounterAdd(name string, delta int64)
+}
+
+// HistogramSink is an optional Sink extension: sinks that also implement
+// it receive every Observe call.
+type HistogramSink interface {
+	HistogramObserve(name string, v int64)
+}
+
 // Nop is the do-nothing sink. Observability with only a Nop sink (or,
 // cheaper, a nil *Ctx) has near-zero overhead.
 type Nop struct{}
@@ -71,6 +93,12 @@ type root struct {
 	clock  func() time.Duration // monotonic time since the epoch
 	sinks  []Sink
 	nextID atomic.Uint64
+
+	// The optional sink extensions, split out once at New so the hot
+	// paths (Start, Count, Observe) fan out without type assertions.
+	beginSinks   []SpanBeginSink
+	counterSinks []CounterSink
+	histSinks    []HistogramSink
 
 	mu       sync.Mutex
 	counters map[string]int64
@@ -97,12 +125,24 @@ func New(sinks ...Sink) *Ctx {
 // newCtx builds a context over an explicit clock; tests inject a fixed
 // one to get byte-identical output.
 func newCtx(clock func() time.Duration, sinks ...Sink) *Ctx {
-	return &Ctx{r: &root{
+	r := &root{
 		clock:    clock,
 		sinks:    sinks,
 		counters: map[string]int64{},
 		hists:    map[string]*histData{},
-	}}
+	}
+	for _, s := range sinks {
+		if b, ok := s.(SpanBeginSink); ok {
+			r.beginSinks = append(r.beginSinks, b)
+		}
+		if c, ok := s.(CounterSink); ok {
+			r.counterSinks = append(r.counterSinks, c)
+		}
+		if h, ok := s.(HistogramSink); ok {
+			r.histSinks = append(r.histSinks, h)
+		}
+	}
+	return &Ctx{r: r}
 }
 
 // Enabled reports whether observability is on.
@@ -141,6 +181,16 @@ func (c *Ctx) Start(name string, attrs ...Attr) (*Ctx, *Span) {
 		name:   name,
 		start:  c.r.clock(),
 		attrs:  attrs,
+	}
+	for _, b := range c.r.beginSinks {
+		b.SpanBegin(SpanData{
+			ID:     sp.id,
+			Parent: sp.parent,
+			Track:  sp.track,
+			Name:   sp.name,
+			Start:  sp.start,
+			Attrs:  sp.attrs,
+		})
 	}
 	return &Ctx{r: c.r, parent: id, track: track}, sp
 }
@@ -183,6 +233,9 @@ func (c *Ctx) Count(name string, delta int64) {
 	c.r.mu.Lock()
 	c.r.counters[name] += delta
 	c.r.mu.Unlock()
+	for _, s := range c.r.counterSinks {
+		s.CounterAdd(name, delta)
+	}
 }
 
 // Counter is one named counter value.
@@ -229,6 +282,38 @@ func histBucketOf(v int64) int {
 	return bits.Len64(uint64(v))
 }
 
+// observe folds one value into the histogram. The caller holds the lock
+// guarding h.
+func (h *histData) observe(v int64) {
+	h.buckets[histBucketOf(v)]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if h.count == 1 || v > h.max {
+		h.max = v
+	}
+}
+
+// snapshot renders the histogram's current state with only non-empty
+// buckets listed, in ascending value order. The caller holds the lock
+// guarding h.
+func (h *histData) snapshot(name string) Hist {
+	s := Hist{Name: name, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	for b, cnt := range h.buckets {
+		if cnt == 0 {
+			continue
+		}
+		lo, hi := uint64(0), uint64(1)
+		if b > 0 {
+			lo, hi = uint64(1)<<(b-1), uint64(1)<<b
+		}
+		s.Buckets = append(s.Buckets, HistBucket{Lo: lo, Hi: hi, Count: cnt})
+	}
+	return s
+}
+
 // Observe records one value into the named histogram. Histograms have
 // fixed log-scale (power-of-two) buckets, so the aggregate — unlike a
 // quantile sketch — is a deterministic function of the observed values,
@@ -244,16 +329,11 @@ func (c *Ctx) Observe(name string, v int64) {
 		h = &histData{}
 		c.r.hists[name] = h
 	}
-	h.buckets[histBucketOf(v)]++
-	h.count++
-	h.sum += v
-	if h.count == 1 || v < h.min {
-		h.min = v
-	}
-	if h.count == 1 || v > h.max {
-		h.max = v
-	}
+	h.observe(v)
 	c.r.mu.Unlock()
+	for _, s := range c.r.histSinks {
+		s.HistogramObserve(name, v)
+	}
 }
 
 // HistBucket is one non-empty bucket of a histogram snapshot: Count
@@ -282,18 +362,7 @@ func (c *Ctx) Histograms() []Hist {
 	c.r.mu.Lock()
 	out := make([]Hist, 0, len(c.r.hists))
 	for n, h := range c.r.hists {
-		s := Hist{Name: n, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
-		for b, cnt := range h.buckets {
-			if cnt == 0 {
-				continue
-			}
-			lo, hi := uint64(0), uint64(1)
-			if b > 0 {
-				lo, hi = uint64(1)<<(b-1), uint64(1)<<b
-			}
-			s.Buckets = append(s.Buckets, HistBucket{Lo: lo, Hi: hi, Count: cnt})
-		}
-		out = append(out, s)
+		out = append(out, h.snapshot(n))
 	}
 	c.r.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

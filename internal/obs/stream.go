@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one live telemetry event as streamed over /debug/events:
+// a span opening or closing, a counter delta, or a histogram
+// observation. Span IDs are unique within one Ctx tree only; Seq is the
+// stream-wide total order.
+type Event struct {
+	Seq    uint64            `json:"seq"`
+	TimeUS int64             `json:"t_us"` // microseconds since the sink was created
+	Type   string            `json:"type"` // "span.begin" | "span.end" | "counter" | "hist"
+	Name   string            `json:"name"`
+	Span   uint64            `json:"span,omitempty"`   // span ID (span.* events)
+	Parent uint64            `json:"parent,omitempty"` // parent span ID
+	DurUS  int64             `json:"dur_us,omitempty"` // span duration (span.end only)
+	Value  int64             `json:"value,omitempty"`  // counter delta / observed value
+	Attrs  map[string]string `json:"attrs,omitempty"`
+	// Dropped is the cumulative number of events this SUBSCRIBER has
+	// missed because its queue was full when they were broadcast. A gap
+	// in Seq plus a growing Dropped tells a reader exactly what it lost.
+	Dropped uint64 `json:"dropped,omitempty"`
+}
+
+// streamRingSize bounds the replay buffer: a new subscriber is seeded
+// with up to this many of the most recent events before the live tail,
+// so a reader that attaches mid-run still sees how the run got here.
+const streamRingSize = 4096
+
+// StreamSink broadcasts telemetry events to any number of subscribers.
+// It implements Sink, SpanBeginSink, CounterSink, and HistogramSink.
+//
+// Delivery is strictly non-blocking: each subscriber has a bounded
+// queue, and an event that finds the queue full is counted against that
+// subscriber's drop counter instead of being delivered. A stalled or
+// slow reader therefore can never back-pressure the instrumentation
+// pipeline — the acceptance bar for putting this sink on by default
+// whenever the debug server runs.
+type StreamSink struct {
+	start time.Time
+
+	mu      sync.Mutex
+	seq     uint64
+	ring    []Event // circular: last streamRingSize events, for replay
+	ringPos int     // index of the oldest event once the ring is full
+	subs    map[*Subscriber]struct{}
+
+	dropped uint64 // total drops across all subscribers, ever
+}
+
+// NewStreamSink returns an empty stream with no subscribers.
+func NewStreamSink() *StreamSink {
+	return &StreamSink{start: time.Now(), subs: map[*Subscriber]struct{}{}}
+}
+
+// Subscriber is one registered reader of a StreamSink.
+type Subscriber struct {
+	ch      chan Event
+	dropped uint64 // guarded by the owning sink's mu
+}
+
+// Events returns the subscriber's delivery channel. It is closed when
+// the subscriber is cancelled or the sink shuts down.
+func (s *Subscriber) Events() <-chan Event { return s.ch }
+
+// Subscribe registers a reader with a queue of the given capacity
+// (a non-positive buf gets a default of 256). Replay seeds the queue
+// with the buffered recent events first — oldest that fit — then the
+// live tail follows. Cancel with Unsubscribe.
+func (t *StreamSink) Subscribe(buf int, replay bool) *Subscriber {
+	if buf <= 0 {
+		buf = 256
+	}
+	sub := &Subscriber{ch: make(chan Event, buf)}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if replay {
+		back := make([]Event, 0, len(t.ring))
+		if len(t.ring) == streamRingSize {
+			back = append(back, t.ring[t.ringPos:]...)
+			back = append(back, t.ring[:t.ringPos]...)
+		} else {
+			back = append(back, t.ring...)
+		}
+		if len(back) > buf {
+			sub.dropped += uint64(len(back) - buf)
+			t.dropped += uint64(len(back) - buf)
+			back = back[len(back)-buf:]
+		}
+		for _, ev := range back {
+			ev.Dropped = sub.dropped
+			sub.ch <- ev // fits by construction
+		}
+	}
+	t.subs[sub] = struct{}{}
+	return sub
+}
+
+// Unsubscribe cancels a subscriber and closes its channel. Safe to call
+// twice, and on a subscriber of a shut-down sink.
+func (t *StreamSink) Unsubscribe(sub *Subscriber) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.subs[sub]; !ok {
+		return
+	}
+	delete(t.subs, sub)
+	close(sub.ch)
+}
+
+// Shutdown cancels every current subscriber and closes their channels.
+// The sink itself stays usable (a restarted debug server can subscribe
+// again); the point is that an open /debug/events request terminates
+// instead of hanging past server teardown.
+func (t *StreamSink) Shutdown() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for sub := range t.subs {
+		close(sub.ch)
+	}
+	t.subs = map[*Subscriber]struct{}{}
+}
+
+// Dropped returns the total number of events dropped across all
+// subscribers since the sink was created.
+func (t *StreamSink) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// emit assigns the next sequence number and broadcasts under the lock,
+// so subscribers observe one total order: an event enqueued for any
+// subscriber is enqueued in Seq order, and a span's begin always
+// precedes its end. The send itself never blocks.
+func (t *StreamSink) emit(ev Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	ev.Seq = t.seq
+	ev.TimeUS = time.Since(t.start).Microseconds()
+	if len(t.ring) < streamRingSize {
+		t.ring = append(t.ring, ev)
+	} else {
+		// Full: overwrite the oldest in place — O(1) per event, where
+		// shifting the slice would copy the whole ring every emit.
+		t.ring[t.ringPos] = ev
+		t.ringPos = (t.ringPos + 1) % streamRingSize
+	}
+	for sub := range t.subs {
+		ev.Dropped = sub.dropped
+		select {
+		case sub.ch <- ev:
+		default:
+			sub.dropped++
+			t.dropped++
+		}
+	}
+}
+
+// attrMap renders span attributes for the wire. Nil for none.
+func attrMap(attrs []Attr) map[string]string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Val
+	}
+	return m
+}
+
+// SpanBegin broadcasts a span opening.
+func (t *StreamSink) SpanBegin(sd SpanData) {
+	t.emit(Event{Type: "span.begin", Name: sd.Name, Span: sd.ID, Parent: sd.Parent, Attrs: attrMap(sd.Attrs)})
+}
+
+// SpanEnd broadcasts a span completion, with its duration and final
+// attributes (cache and store outcomes ride here).
+func (t *StreamSink) SpanEnd(sd SpanData) {
+	t.emit(Event{Type: "span.end", Name: sd.Name, Span: sd.ID, Parent: sd.Parent,
+		DurUS: sd.Dur.Microseconds(), Attrs: attrMap(sd.Attrs)})
+}
+
+// CounterAdd broadcasts a counter delta.
+func (t *StreamSink) CounterAdd(name string, delta int64) {
+	t.emit(Event{Type: "counter", Name: name, Value: delta})
+}
+
+// HistogramObserve broadcasts a histogram observation.
+func (t *StreamSink) HistogramObserve(name string, v int64) {
+	t.emit(Event{Type: "hist", Name: name, Value: v})
+}

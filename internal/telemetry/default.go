@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+
+	"atom/internal/build"
+	"atom/internal/obs"
+	"atom/internal/prof"
+	"atom/internal/vm"
+)
+
+// The process-wide telemetry instances. cmd/atom and atom.WithDebugAddr
+// share them, so the CLI and the library expose identical endpoints and
+// a future `atom serve` daemon mounts the very same registry.
+var (
+	defaultOnce   sync.Once
+	defaultReg    *Registry
+	defaultStream *obs.StreamSink
+
+	serverMu      sync.Mutex
+	defaultServer *Server
+)
+
+// Default returns the process-wide registry, creating it (and
+// registering the standard gauges) on first use.
+func Default() *Registry {
+	initDefault()
+	return defaultReg
+}
+
+// DefaultStream returns the process-wide event stream, creating it on
+// first use.
+func DefaultStream() *obs.StreamSink {
+	initDefault()
+	return defaultStream
+}
+
+func initDefault() {
+	defaultOnce.Do(func() {
+		defaultReg = NewRegistry()
+		defaultStream = obs.NewStreamSink()
+		RegisterProcessGauges(defaultReg)
+	})
+}
+
+// RegisterProcessGauges installs the standard lazily-polled gauges on a
+// registry: the persistent store's residency and integrity stats (zero
+// when no -cache-dir store is configured) and the process-wide VM and
+// profiler totals. Every gauge reads a live source at scrape time, so
+// mid-run scrapes see current values without any event plumbing.
+func RegisterProcessGauges(r *Registry) {
+	storeStat := func(pick func(build.StoreStats) int64) func() int64 {
+		return func() int64 {
+			s := build.ActiveStore()
+			if s == nil {
+				return 0
+			}
+			return pick(s.Stats())
+		}
+	}
+	r.SetGauge("store.disk.bytes", storeStat(func(s build.StoreStats) int64 { return s.Bytes }))
+	r.SetGauge("store.disk.blobs", storeStat(func(s build.StoreStats) int64 { return int64(s.Blobs) }))
+	r.SetGauge("store.disk.quarantined", storeStat(func(s build.StoreStats) int64 { return int64(s.Corrupt) }))
+	r.SetGauge("store.disk.adopted", storeStat(func(s build.StoreStats) int64 { return int64(s.Adopted) }))
+	r.SetGauge("store.disk.evicted", storeStat(func(s build.StoreStats) int64 { return int64(s.Evicted) }))
+
+	r.SetGauge("vm.total.runs", func() int64 { return int64(vm.Totals().Runs) })
+	r.SetGauge("vm.total.icount", func() int64 { return int64(vm.Totals().Icount) })
+	r.SetGauge("vm.total.loads", func() int64 { return int64(vm.Totals().Loads) })
+	r.SetGauge("vm.total.stores", func() int64 { return int64(vm.Totals().Stores) })
+	r.SetGauge("vm.total.syscalls", func() int64 { return int64(vm.Totals().Syscalls) })
+	r.SetGauge("prof.total.samples", func() int64 { return int64(prof.TotalSamplesAll()) })
+}
+
+// StartDefaultServer starts the process-wide debug server on addr over
+// the Default registry and stream. It errors if one is already running.
+// The resolved address (useful with port 0) is srv.Addr().
+func StartDefaultServer(addr string) (*Server, error) {
+	serverMu.Lock()
+	defer serverMu.Unlock()
+	if defaultServer != nil {
+		return nil, fmt.Errorf("telemetry: debug server already running on %s", defaultServer.Addr())
+	}
+	srv := NewServer(Default(), DefaultStream())
+	if err := srv.Start(addr); err != nil {
+		return nil, err
+	}
+	defaultServer = srv
+	return srv, nil
+}
+
+// StopDefaultServer shuts down the process-wide debug server, if any.
+func StopDefaultServer() error {
+	serverMu.Lock()
+	srv := defaultServer
+	defaultServer = nil
+	serverMu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}

@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"atom/internal/obs"
+)
+
+// Server is the embedded debug server behind `atom -debug-addr` (and
+// atom.WithDebugAddr). It serves:
+//
+//	GET /metrics        Prometheus text exposition of the Registry
+//	GET /debug/events   chunked NDJSON live stream of telemetry events
+//	GET /debug/pprof/   the standard Go profiling endpoints
+//	GET /healthz        liveness probe ("ok")
+//
+// The event stream honors two query parameters: n limits the response
+// to that many events (the connection closes once delivered — CI smoke
+// uses this), and replay=0 skips the buffered backlog and streams only
+// events emitted after the request arrived.
+type Server struct {
+	reg    *Registry
+	stream *obs.StreamSink
+	ln     net.Listener
+	srv    *http.Server
+	done   chan struct{}
+}
+
+// NewServer builds a server over a registry and an event stream; either
+// may be shared with any number of obs contexts. Call Start to listen.
+func NewServer(reg *Registry, stream *obs.StreamSink) *Server {
+	s := &Server{reg: reg, stream: stream, done: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/events", s.handleEvents)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	return s
+}
+
+// Start listens on addr (host:port; port 0 picks a free one — read the
+// resolved address back with Addr) and serves in a background goroutine.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	s.ln = ln
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln) // returns on Close; error is expected then
+	}()
+	return nil
+}
+
+// Addr returns the resolved listen address ("127.0.0.1:41231"), or ""
+// before Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down: the event stream's subscribers are
+// cancelled (so open /debug/events requests terminate rather than
+// outlive the process), then the listener and in-flight requests get a
+// short grace period.
+func (s *Server) Close() error {
+	if s.ln == nil {
+		return nil
+	}
+	if s.stream != nil {
+		s.stream.Shutdown()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		err = s.srv.Close()
+	}
+	<-s.done
+	return err
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.stream == nil {
+		http.Error(w, "event streaming disabled", http.StatusNotFound)
+		return
+	}
+	limit := 0 // 0: stream until the client goes away or the sink closes
+	if q := r.URL.Query().Get("n"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	replay := r.URL.Query().Get("replay") != "0"
+	buf := 1024
+	if limit > buf {
+		buf = limit
+	}
+	sub := s.stream.Subscribe(buf, replay)
+	defer s.stream.Unsubscribe(sub)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+
+	enc := json.NewEncoder(w)
+	sent := 0
+	for {
+		select {
+		case ev, ok := <-sub.Events():
+			if !ok {
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			sent++
+			if limit > 0 && sent >= limit {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

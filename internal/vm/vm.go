@@ -223,8 +223,23 @@ func (m *Machine) Exited() (bool, int) { return m.halted, m.exitCode }
 // Run executes until the program halts, fuel is exhausted, or a fault
 // occurs. It returns the exit status.
 func (m *Machine) Run() (int, error) {
+	// Process-wide totals flush as deltas, like the obs counters below,
+	// so repeated Run/Step mixes and many machines aggregate correctly.
+	ti, tl, ts, tu, ty := m.Icount, m.Loads, m.Stores, m.Unaligned, m.Syscalls
+	defer func() {
+		totalRuns.Add(1)
+		totalInstr.Add(m.Icount - ti)
+		totalLoads.Add(m.Loads - tl)
+		totalStores.Add(m.Stores - ts)
+		totalUnaligned.Add(m.Unaligned - tu)
+		totalSyscalls.Add(m.Syscalls - ty)
+	}()
 	if m.cfg.Obs.Enabled() {
-		_, sp := m.cfg.Obs.Start("vm.run")
+		var spanAttrs []obs.Attr
+		if m.cfg.Arg0 != "" {
+			spanAttrs = append(spanAttrs, obs.String("program", m.cfg.Arg0))
+		}
+		_, sp := m.cfg.Obs.Start("vm.run", spanAttrs...)
 		// Counters are flushed as deltas so repeated Run/Step mixes and
 		// multiple machines sharing one context aggregate correctly.
 		i0, l0, s0, u0, p0 := m.Icount, m.Loads, m.Stores, m.Unaligned, m.Syscalls

@@ -203,8 +203,8 @@ func TestObservabilityCounters(t *testing.T) {
 		if get("atom.bytes_marshalled") <= 0 {
 			t.Errorf("atom.bytes_marshalled counter = %d, want > 0", get("atom.bytes_marshalled"))
 		}
-		if get("cache.hit") <= 0 {
-			t.Errorf("cache.hit counter = %d on a warm run, want > 0", get("cache.hit"))
+		if get("store.image.hit") <= 0 {
+			t.Errorf("store.image.hit counter = %d on a warm run, want > 0", get("store.image.hit"))
 		}
 		if get("vm.syscalls") <= 0 {
 			t.Errorf("vm.syscalls counter = %d, want > 0", get("vm.syscalls"))
