@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race benchsmoke tracesmoke profsmoke vetsmoke inlinesmoke irsmoke persistsmoke telemetrysmoke bench ci
+.PHONY: all build fmt vet vettool test race benchsmoke tracesmoke profsmoke vetsmoke inlinesmoke irsmoke persistsmoke telemetrysmoke analyzesmoke bench ci
 
 all: build
 
@@ -163,8 +163,41 @@ telemetrysmoke:
 	awk 'NR==FNR { if ($$1 ~ /_total/) v[$$1]=$$2; next } ($$1 in v) && ($$2+0 < v[$$1]+0) { print "regressed:", $$1, v[$$1], "->", $$2; bad=1 } END { exit bad }' $$tmp/m1.txt $$tmp/m2.txt; \
 	wait $$telpid
 
+# Project-convention lint: the custom vettool (cmd/atomvet) through the
+# cmd/go vettool protocol — no ATOM_CACHE_DIR reads outside cmd/atom,
+# *obs.Ctx leads every exported signature.
+vettool:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/atomvet ./cmd/atomvet; \
+	$(GO) vet -vettool=$$tmp/atomvet ./...
+
+# Analyze gate: every built-in tool image reports clean under -analyze,
+# byte-identically across two runs, and a seeded save-discipline defect
+# is caught with a non-zero exit.
+analyzesmoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	printf '#include <stdio.h>\nint main() { printf("ok\\n"); return 0; }\n' > $$tmp/smoke.c; \
+	$(GO) run ./cmd/minicc -o $$tmp/smoke.o $$tmp/smoke.c; \
+	$(GO) run ./cmd/alink -o $$tmp/smoke.x $$tmp/smoke.o; \
+	$(GO) build -o $$tmp/atom ./cmd/atom; \
+	for t in $$($$tmp/atom -list | awk '{print $$1}'); do \
+		$$tmp/atom -analyze -t $$t > $$tmp/an1.$$t.txt || exit 1; \
+		$$tmp/atom -analyze -t $$t > $$tmp/an2.$$t.txt || exit 1; \
+		cmp $$tmp/an1.$$t.txt $$tmp/an2.$$t.txt || exit 1; \
+		grep -q "tool:$$t: clean" $$tmp/an1.$$t.txt || exit 1; \
+	done; \
+	$$tmp/atom -analyze $$tmp/smoke.x > $$tmp/an.app.txt; \
+	grep -q 'smoke.x: clean' $$tmp/an.app.txt; \
+	printf '\t.text\n\t.globl main\n\t.ent main\nmain:\n\tclr v0\n\tret (ra)\n\t.end main\n\n\t.globl Clobber\n\t.ent Clobber\nClobber:\n\taddq s0, 1, s0\n\tret (ra)\n\t.end Clobber\n' > $$tmp/defect.s; \
+	$(GO) run ./cmd/aasm -o $$tmp/defect.o $$tmp/defect.s; \
+	$(GO) run ./cmd/alink -o $$tmp/defect.x $$tmp/defect.o; \
+	if $$tmp/atom -analyze -analyze-as tool $$tmp/defect.x > $$tmp/an.defect.txt; then \
+		echo "analyze: seeded save-discipline defect not caught" >&2; exit 1; \
+	fi; \
+	grep -q 'clobbers callee-save register s0' $$tmp/an.defect.txt
+
 # Real measurements (slow); see EXPERIMENTS.md for recorded numbers.
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-ci: fmt vet build race benchsmoke tracesmoke profsmoke vetsmoke inlinesmoke irsmoke persistsmoke telemetrysmoke
+ci: fmt vet vettool build race benchsmoke tracesmoke profsmoke vetsmoke inlinesmoke irsmoke persistsmoke telemetrysmoke analyzesmoke

@@ -35,6 +35,7 @@ import (
 	"atom/internal/build"
 	"atom/internal/core"
 	"atom/internal/om"
+	"atom/internal/om/analysis"
 	"atom/internal/rtl"
 	"atom/internal/telemetry"
 	"atom/internal/tools"
@@ -252,6 +253,45 @@ func InstrumentProgram(prog *Program, tool Tool, opts Options, extra ...Option) 
 // IRCacheStats reports lift-cache activity: how many Instrument/Apply
 // calls decoded a cached IR blob instead of re-lifting the executable.
 func IRCacheStats() CacheStats { return build.IRCacheStats() }
+
+// AnalysisPass is one registered static-analysis pass over the OM IR
+// (uninit, stackheight, callgraph, toollint).
+type AnalysisPass = analysis.Pass
+
+// AnalysisReport is the outcome of running passes over one unit:
+// sorted, deterministic findings plus unit metadata. Render it with
+// WriteText or MarshalAnalysisReports.
+type AnalysisReport = analysis.Report
+
+// AnalysisFinding is a single diagnostic keyed by original PC and
+// procedure name.
+type AnalysisFinding = analysis.Finding
+
+// AnalysisPasses resolves a comma-separated pass selection ("" = every
+// registered pass) to the passes themselves, rejecting unknown names.
+func AnalysisPasses(spec string) ([]AnalysisPass, error) { return analysis.Select(spec) }
+
+// Analyze lifts an application and runs the selected passes over it
+// (the `atom -analyze prog.x` entry point as a library call). A tool
+// image is audited with ToolImage.Analyze instead, which runs the
+// image-only passes such as toollint.
+func Analyze(name string, app *Executable, passSpec string) (*AnalysisReport, error) {
+	ps, err := analysis.Select(passSpec)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := core.Lift(app)
+	if err != nil {
+		return nil, err
+	}
+	return core.AnalyzeProgram(nil, name, prog, analysis.Application, ps), nil
+}
+
+// MarshalAnalysisReports renders reports as the stable atom-analyze/v1
+// JSON document.
+func MarshalAnalysisReports(reports []*AnalysisReport) ([]byte, error) {
+	return analysis.MarshalReports(reports)
+}
 
 // Tools returns the paper's eleven analysis tools.
 func Tools() []Tool { return tools.All() }

@@ -13,6 +13,16 @@ fi
 
 go vet ./...
 go build ./...
+
+# Repo lint gate: the custom vettool enforces project conventions the
+# stock vet cannot — no ATOM_CACHE_DIR reads outside cmd/atom, and the
+# *obs.Ctx stage context leading every exported signature — through the
+# cmd/go vettool protocol.
+vettmp=$(mktemp -d)
+go build -o "$vettmp/atomvet" ./cmd/atomvet
+go vet -vettool="$vettmp/atomvet" ./...
+rm -rf "$vettmp"
+
 go test -race ./...
 go test -bench=. -benchtime=1x -run='^$' ./...
 
@@ -138,3 +148,42 @@ awk 'NR==FNR { if ($1 ~ /_total/) v[$1]=$2; next }
      ($1 in v) && ($2+0 < v[$1]+0) { print "regressed:", $1, v[$1], "->", $2; bad=1 }
      END { exit bad }' "$tmp/m1.txt" "$tmp/m2.txt"
 wait "$telpid"
+
+# Analyze gate: the static-analysis pass manager reports every built-in
+# tool image clean, byte-identically (text and JSON) across two runs,
+# and the smoke programs analyze clean as applications; then a seeded
+# save-discipline defect must be caught — an image that clobbers a
+# callee-save register fails -analyze with the toollint diagnostic.
+for t in $("$tmp/atom" -list | awk '{print $1}'); do
+    "$tmp/atom" -analyze -t "$t" -analyze-json "$tmp/an1.$t.json" > "$tmp/an1.$t.txt"
+    "$tmp/atom" -analyze -t "$t" -analyze-json "$tmp/an2.$t.json" > "$tmp/an2.$t.txt"
+    cmp "$tmp/an1.$t.txt" "$tmp/an2.$t.txt"
+    cmp "$tmp/an1.$t.json" "$tmp/an2.$t.json"
+    grep -q "tool:$t: clean" "$tmp/an1.$t.txt"
+done
+"$tmp/atom" -analyze "$tmp/smoke.x" "$tmp/long.x" > "$tmp/an.apps.txt"
+grep -q 'smoke.x: clean' "$tmp/an.apps.txt"
+grep -q 'long.x: clean' "$tmp/an.apps.txt"
+cat > "$tmp/defect.s" <<'EOS'
+	.text
+	.globl main
+	.ent main
+main:
+	clr v0
+	ret (ra)
+	.end main
+
+	.globl Clobber
+	.ent Clobber
+Clobber:
+	addq s0, 1, s0
+	ret (ra)
+	.end Clobber
+EOS
+go run ./cmd/aasm -o "$tmp/defect.o" "$tmp/defect.s"
+go run ./cmd/alink -o "$tmp/defect.x" "$tmp/defect.o"
+if "$tmp/atom" -analyze -analyze-as tool "$tmp/defect.x" > "$tmp/an.defect.txt"; then
+    echo "analyze: seeded save-discipline defect not caught" >&2
+    exit 1
+fi
+grep -q 'clobbers callee-save register s0' "$tmp/an.defect.txt"

@@ -101,6 +101,10 @@ func run() (code int) {
 		noInline      = flag.Bool("noinline", false, "disable analysis-routine inlining (always call through the register-save wrapper)")
 		inlineLimit   = flag.Int("inline-limit", 0, "largest analysis-routine body to inline, in instructions (0 = default)")
 		vet           = flag.Bool("vet", false, "verify the OM IR before instrumentation and the PC maps and rewritten text after")
+		analyze       = flag.Bool("analyze", false, "run the static-analysis passes over the inputs (and the -t tool's image) and report findings instead of instrumenting")
+		analyzeJSON   = flag.String("analyze-json", "", "with -analyze: also write the reports as JSON (atom-analyze/v1) to this file")
+		passSpec      = flag.String("passes", "", "with -analyze: comma-separated pass subset (default: all; names: uninit, stackheight, callgraph, toollint)")
+		analyzeAs     = flag.String("analyze-as", "app", "with -analyze: treat inputs as an application or a tool image: app | tool")
 		emitIR        = flag.String("emit-ir", "", "lift each input and write its serialized IR (atom-ir/v1) to <dir>/<input>.ir instead of instrumenting")
 		irIn          = flag.String("ir-in", "", "instrument from a serialized IR blob (-emit-ir output) instead of an input executable")
 		jobs          = flag.Int("j", 1, "instrument up to N input programs in parallel (0 = GOMAXPROCS)")
@@ -156,7 +160,7 @@ func run() (code int) {
 		}
 		fmt.Printf("%s: ok (%d stacks)\n", *verifyFolded, n)
 		return 0
-	case *table != "" || (*benchJSON != "" && *toolName == "" && !*runMode && *profilePath == ""):
+	case *table != "" || (*benchJSON != "" && *toolName == "" && !*runMode && !*analyze && *profilePath == ""):
 		which := *table
 		if which == "" {
 			which = "fig5"
@@ -172,13 +176,19 @@ func run() (code int) {
 		return fail(fmt.Errorf("-ir-in cannot be combined with -run"))
 	case *irIn != "" && flag.NArg() > 0:
 		return fail(fmt.Errorf("-ir-in replaces the input executable; positional inputs are not allowed"))
+	case *analyze && (doRun || *emitIR != ""):
+		return fail(fmt.Errorf("-analyze reports findings; it cannot be combined with -run or -emit-ir"))
+	case *analyze && *analyzeAs != "app" && *analyzeAs != "tool":
+		return fail(fmt.Errorf("bad -analyze-as %q (app or tool)", *analyzeAs))
 	}
-	needInput := *irIn == ""
-	needTool := *toolName == "" && !doRun && *emitIR == ""
+	// -analyze with only a tool lints the built image; no input needed.
+	needInput := *irIn == "" && !(*analyze && *toolName != "")
+	needTool := *toolName == "" && !doRun && *emitIR == "" && !*analyze
 	if (needInput && flag.NArg() < 1) || needTool {
 		fmt.Fprintln(os.Stderr, "usage: atom prog.x [prog2.x ...] -t tool [-o prog.atom] [-j N] [-mode wrapper|inanalysis] [-heap N] [-vet]")
 		fmt.Fprintln(os.Stderr, "       atom [-t tool] -run [-profile file [-profile-period N] [-profile-format flat|folded]] prog.x [args...]")
 		fmt.Fprintln(os.Stderr, "       atom -emit-ir dir prog.x [prog2.x ...] | atom -t tool -ir-in prog.ir [-o prog.atom]")
+		fmt.Fprintln(os.Stderr, "       atom -analyze [-passes p1,p2] [-analyze-json file] [-t tool] [prog.x ...]")
 		fmt.Fprintln(os.Stderr, "       atom -list | -table fig5|fig6 [-bench-json file] | -verify-trace file")
 		return 2
 	}
@@ -344,6 +354,20 @@ func run() (code int) {
 		}
 		os.Exit(status)
 	}()
+
+	if *analyze {
+		return runAnalyze(ctx, metricsSink, analyzeConfig{
+			inputs:    flag.Args(),
+			irIn:      *irIn,
+			tool:      tool,
+			haveTool:  *toolName != "",
+			opts:      opts,
+			passSpec:  *passSpec,
+			asKind:    *analyzeAs,
+			jsonPath:  *analyzeJSON,
+			benchJSON: *benchJSON,
+		})
+	}
 
 	if *emitIR != "" {
 		return emitIRBlobs(ctx, *emitIR, flag.Args())
@@ -777,7 +801,7 @@ func scrape(url string) int {
 }
 
 // newRunDoc assembles the common part of a bench JSON run document
-// (schema atom-run/v5): per-phase totals including the lift, the three
+// (schema atom-run/v6): per-phase totals including the lift, the three
 // cache stat blocks, the disk-store block when a persistent store is
 // configured, counters, the inline block, and histograms.
 func newRunDoc(ctx *obs.Ctx, metricsSink *obs.MetricsSink, toolName string, programs []string) figures.RunDoc {
@@ -785,11 +809,12 @@ func newRunDoc(ctx *obs.Ctx, metricsSink *obs.MetricsSink, toolName string, prog
 		Tool:     toolName,
 		Programs: programs,
 		Phases: figures.BenchPhases{
-			LiftMS:  msOf(metricsSink.Total("om.lift")),
-			BuildMS: msOf(metricsSink.Total("atom.image.build")),
-			PlanMS:  msOf(metricsSink.Total("atom.plan")),
-			ApplyMS: msOf(metricsSink.Total("atom.apply")),
-			WriteMS: msOf(metricsSink.Total("atom.write")),
+			LiftMS:    msOf(metricsSink.Total("om.lift")),
+			BuildMS:   msOf(metricsSink.Total("atom.image.build")),
+			PlanMS:    msOf(metricsSink.Total("atom.plan")),
+			ApplyMS:   msOf(metricsSink.Total("atom.apply")),
+			WriteMS:   msOf(metricsSink.Total("atom.write")),
+			AnalyzeMS: msOf(metricsSink.Total("om.analyze")),
 		},
 		Image:   figures.CacheStats(core.ImageCacheStats()),
 		Objects: figures.CacheStats(rtl.ObjectCacheStats()),

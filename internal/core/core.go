@@ -47,6 +47,7 @@ import (
 	"atom/internal/link"
 	"atom/internal/obs"
 	"atom/internal/om"
+	"atom/internal/om/analysis"
 	"atom/internal/om/dataflow"
 )
 
@@ -312,6 +313,9 @@ func applyPlan(ctx *obs.Ctx, q *Instrumentation, ti *ToolImage, opts Options) (*
 	if opts.Verify {
 		if ds := q.prog.VerifyCtx(actx); len(ds) > 0 {
 			return nil, verifyError("input IR", ds)
+		}
+		if err := analyzeVerify(actx, "application", q.prog, analysis.Application); err != nil {
+			return nil, err
 		}
 	}
 	// Verify every called analysis procedure against the image.

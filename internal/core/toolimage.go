@@ -10,6 +10,7 @@ import (
 	"atom/internal/link"
 	"atom/internal/obs"
 	"atom/internal/om"
+	"atom/internal/om/analysis"
 	"atom/internal/om/dataflow"
 	"atom/internal/rtl"
 )
@@ -384,6 +385,18 @@ func buildToolImage(ctx *obs.Ctx, tool Tool, opts Options, protos map[string]*Pr
 			return nil, fmt.Errorf("atom: analysis image (final): %w", err)
 		}
 		ti.inline = extractInlineTemplates(fprog, img, defined, summary)
+	}
+
+	// Under -vet, lint the FINAL image's analysis code statically before
+	// it can ever be stamped into an application.
+	if opts.Verify {
+		fprog, err := om.BuildCtx(ictx, img)
+		if err != nil {
+			return nil, fmt.Errorf("atom: analysis image (final): %w", err)
+		}
+		if err := analyzeVerify(ictx, "analysis image", fprog, analysis.ToolImage); err != nil {
+			return nil, err
+		}
 	}
 
 	isp.SetAttr(

@@ -20,7 +20,7 @@ import (
 // notably atom.site_live_regs and atom.site_saved_regs, the per-site
 // caller-save live-set and save-set sizes the liveness analysis acts on.
 type BenchJSON struct {
-	Schema string           `json:"schema"` // "atom-bench/v5"
+	Schema string           `json:"schema"` // "atom-bench/v6"
 	Fig5   []BenchFig5Row   `json:"fig5,omitempty"`
 	Fig6   []BenchFig6Row   `json:"fig6,omitempty"`
 	Hists  []BenchHistogram `json:"histograms,omitempty"`
@@ -35,6 +35,10 @@ type BenchPhases struct {
 	PlanMS  float64 `json:"plan_ms"`            // instrumentation routine over the IR
 	ApplyMS float64 `json:"apply_ms"`           // per-program rewrite + image stamp
 	WriteMS float64 `json:"write_ms,omitempty"` // output serialization (cmd/atom only)
+	// AnalyzeMS is time inside the static-analysis pass manager:
+	// -analyze runs, and the analyze stages of -vet. Zero — and
+	// omitted — when no pass ran (schema v6).
+	AnalyzeMS float64 `json:"analyze_ms,omitempty"`
 }
 
 // BenchCacheStats is a snapshot of one artifact cache's activity.
@@ -111,7 +115,7 @@ func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond)
 // WriteBenchJSON writes Figure 5/6 measurements as JSON to path. Either
 // row slice (and the histogram snapshot) may be nil.
 func WriteBenchJSON(path string, fig5 []Fig5Row, fig6 []Fig6Row, hists []obs.Hist) error {
-	doc := BenchJSON{Schema: "atom-bench/v5", Hists: Histograms(hists)}
+	doc := BenchJSON{Schema: "atom-bench/v6", Hists: Histograms(hists)}
 	if len(doc.Hists) == 0 {
 		doc.Hists = nil
 	}
@@ -154,7 +158,7 @@ func WriteBenchJSON(path string, fig5 []Fig5Row, fig6 []Fig6Row, hists []obs.His
 // writes: one instrument-mode run with its per-phase breakdown and cache
 // statistics.
 type RunDoc struct {
-	Schema   string          `json:"schema"` // "atom-run/v5"
+	Schema   string          `json:"schema"` // "atom-run/v6"
 	Tool     string          `json:"tool"`
 	Programs []string        `json:"programs"`
 	Failed   []string        `json:"failed,omitempty"`
@@ -226,9 +230,10 @@ func Histograms(hs []obs.Hist) []BenchHistogram {
 // the legacy cache.*/ircache.* counter names beside the unified
 // store.<kind>.* names; v5 drops the legacy aliases — store.<kind>.*
 // is the only counter family — and adds the adopted field to
-// disk_store.
+// disk_store; v6 adds analyze_ms to phases, covering -analyze and the
+// -vet analyze stages.
 func WriteRunJSON(path string, doc RunDoc) error {
-	doc.Schema = "atom-run/v5"
+	doc.Schema = "atom-run/v6"
 	return writeJSON(path, doc)
 }
 

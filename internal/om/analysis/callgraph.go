@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"atom/internal/alpha"
+	"atom/internal/aout"
+	"atom/internal/obs"
+	"atom/internal/om"
+)
+
+// callgraphPass builds the program's call graph and reports what the
+// entry point cannot reach. Direct edges come from bsr and from
+// branches (conditional or not) that leave their procedure — the
+// runtime's divide-by-zero path is such a tail transfer — while jsr and
+// jmp are indirect sites whose targets are unknown; when a reachable
+// procedure contains one, every address-taken procedure (any procedure
+// whose address is materialized by a non-branch relocation) becomes
+// reachable too. Unreachable procedures and unreachable blocks inside
+// reachable procedures are reported as Info — dead code is a report,
+// not a defect — plus one whole-program summary line.
+type callgraphPass struct{}
+
+func init() { Register(callgraphPass{}) }
+
+func (callgraphPass) Name() string { return "callgraph" }
+func (callgraphPass) Desc() string {
+	return "call-graph construction with dead-procedure and unreachable-code report"
+}
+
+// Applies: the pass needs a meaningful entry point, which tool images
+// (linked with no entry) do not have.
+func (callgraphPass) Applies(k UnitKind) bool { return k == Application }
+
+func (callgraphPass) Run(ctx *obs.Ctx, u *Unit) []Finding {
+	p := u.Prog
+	if p.Exe == nil || !p.Exe.Linked || len(p.Procs) == 0 {
+		return nil
+	}
+
+	// procOf resolves an address to the procedure containing it.
+	starts := make([]uint64, len(p.Procs))
+	for i, pr := range p.Procs {
+		starts[i] = pr.Addr
+	}
+	procOf := func(addr uint64) int {
+		i := sort.Search(len(starts), func(i int) bool { return starts[i] > addr }) - 1
+		if i >= 0 && addr < p.Procs[i].Addr+p.Procs[i].Size {
+			return i
+		}
+		return -1
+	}
+
+	// Direct edges, indirect sites, and the set of every branch target
+	// (used below to keep blocks entered by a cross-procedure branch out
+	// of the dead-code report).
+	edges := make([]map[int]bool, len(p.Procs))
+	hasIndirect := make([]bool, len(p.Procs))
+	indirectSites := 0
+	branchTargets := map[uint64]bool{}
+	nedges := 0
+	for pi, pr := range p.Procs {
+		edges[pi] = map[int]bool{}
+		for _, b := range pr.Blocks {
+			for _, in := range b.Insts {
+				op := in.I.Op
+				switch {
+				case op == alpha.OpBsr, op == alpha.OpBr, op.IsCondBranch():
+					t := in.Addr + 4 + uint64(int64(in.I.Disp)*4)
+					branchTargets[t] = true
+					if op == alpha.OpBsr || t < pr.Addr || t >= pr.Addr+pr.Size {
+						if ci := procOf(t); ci >= 0 && !edges[pi][ci] {
+							edges[pi][ci] = true
+							nedges++
+						}
+					}
+				case op == alpha.OpJsr || op == alpha.OpJmp:
+					hasIndirect[pi] = true
+					indirectSites++
+				}
+			}
+		}
+	}
+
+	// Address-taken procedures: any procedure whose entry address is
+	// materialized by an address relocation (hi/lo pairs, data words) —
+	// branch relocations are the direct edges already counted.
+	addrTaken := make([]bool, len(p.Procs))
+	for _, rel := range p.Exe.Relocs {
+		if rel.Type == aout.RelBr21 {
+			continue
+		}
+		if rel.Sym < 0 || rel.Sym >= len(p.Exe.Symbols) {
+			continue
+		}
+		sym := p.Exe.Symbols[rel.Sym]
+		if sym.Kind != aout.SymFunc {
+			continue
+		}
+		if ci := procOf(sym.Value + uint64(rel.Addend)); ci >= 0 {
+			addrTaken[ci] = true
+		}
+	}
+
+	// Reachability: close over direct edges from the entry; as long as
+	// some reachable procedure calls indirectly, every address-taken
+	// procedure is a root too.
+	reach := make([]bool, len(p.Procs))
+	var visit func(int)
+	visit = func(pi int) {
+		if pi < 0 || reach[pi] {
+			return
+		}
+		reach[pi] = true
+		for ci := range edges[pi] {
+			visit(ci)
+		}
+	}
+	visit(procOf(p.Exe.Entry))
+	for {
+		indirect := false
+		for pi := range p.Procs {
+			if reach[pi] && hasIndirect[pi] {
+				indirect = true
+			}
+		}
+		if !indirect {
+			break
+		}
+		grew := false
+		for pi := range p.Procs {
+			if addrTaken[pi] && !reach[pi] {
+				visit(pi)
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+
+	var out []Finding
+	nreach := 0
+	for pi, pr := range p.Procs {
+		if reach[pi] {
+			nreach++
+			out = append(out, deadBlocks(pr, branchTargets)...)
+		} else {
+			out = append(out, Finding{Pass: "callgraph", Sev: Info, Proc: pr.Name, Addr: pr.Addr,
+				Msg: "unreachable from the entry point (dead procedure)"})
+		}
+	}
+	out = append(out, Finding{Pass: "callgraph", Sev: Info,
+		Msg: fmt.Sprintf("%s, %d reachable, %s, %s",
+			plural(len(p.Procs), "procedure"), nreach,
+			plural(nedges, "direct call edge"), plural(indirectSites, "indirect call site"))})
+
+	ctx.Count("om.analyze.callgraph.edges", int64(nedges))
+	ctx.Count("om.analyze.callgraph.indirect", int64(indirectSites))
+	return out
+}
+
+// deadBlocks reports blocks of a reachable procedure that its entry
+// block cannot reach and that no branch anywhere in the program targets.
+func deadBlocks(pr *om.Proc, branchTargets map[uint64]bool) []Finding {
+	n := len(pr.Blocks)
+	if n == 0 {
+		return nil
+	}
+	seen := make([]bool, n)
+	seen[0] = true
+	work := []int{0}
+	for len(work) > 0 {
+		bi := work[0]
+		work = work[1:]
+		for _, s := range pr.Blocks[bi].Succs {
+			if si := s.Index; si >= 0 && si < n && pr.Blocks[si] == s && !seen[si] {
+				seen[si] = true
+				work = append(work, si)
+			}
+		}
+	}
+	var out []Finding
+	for bi, b := range pr.Blocks {
+		if seen[bi] || len(b.Insts) == 0 {
+			continue
+		}
+		if branchTargets[b.Insts[0].Addr] {
+			continue // entered from outside the procedure
+		}
+		out = append(out, Finding{Pass: "callgraph", Sev: Info, Proc: pr.Name, Addr: b.Insts[0].Addr,
+			Msg: fmt.Sprintf("unreachable code (%s)", plural(len(b.Insts), "instruction"))})
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"fmt"
+
+	"atom/internal/alpha"
+	"atom/internal/obs"
+	"atom/internal/om"
+	"atom/internal/om/dataflow"
+)
+
+// toollintPass audits the save discipline of analysis code BEFORE an
+// image is ever applied. Instrumentation calls analysis routines from
+// arbitrary points in the application, saving only the caller-save
+// registers the liveness/modified analyses prove necessary — so an
+// analysis routine that clobbers a callee-save register without the
+// standard save/restore, or that writes gp (the application's globals
+// pointer is live across every instrumentation site), corrupts the
+// instrumented program in ways no dynamic check catches cheaply.
+//
+// The audit is a forward "taint" dataflow on the generic engine rather
+// than a linear prologue/epilogue matcher: a protected register (s0–s5,
+// fp, and ra) becomes tainted when anything other than an `ldq r,
+// off(sp)` reload writes it — ordinary writes, and the link write of
+// every bsr/jsr — and a reload from the stack clears the taint. A
+// return reached by a tainted register on ANY path is a defect: the
+// caller's value is gone. This sees through nested frames (the
+// in-analysis splice wraps a routine's own prologue in an outer
+// scratch-save frame), shared epilogues reached by branches, and
+// multi-exit procedures, none of which a canonical-prologue scan
+// handles.
+//
+// Stack-pointer discipline itself is the stackheight pass's job; this
+// pass assumes sp is sane and audits everyone else.
+type toollintPass struct{}
+
+func init() { Register(toollintPass{}) }
+
+func (toollintPass) Name() string { return "toollint" }
+func (toollintPass) Desc() string {
+	return "audit analysis routines for clobbered-but-unsaved registers and gp hazards"
+}
+
+// Applies: the lint is about code that runs inside instrumentation
+// sites, i.e. a tool image.
+func (toollintPass) Applies(k UnitKind) bool { return k == ToolImage }
+
+// calleeSaved is the register set a procedure must preserve: s0–s5 and
+// fp. sp has its own pass; gp gets a sharper diagnostic below.
+var calleeSaved = func() om.RegSet {
+	var s om.RegSet
+	for r := alpha.S0; r <= alpha.S5; r++ {
+		s = s.Add(r)
+	}
+	return s.Add(alpha.FP)
+}()
+
+func (toollintPass) Run(ctx *obs.Ctx, u *Unit) []Finding {
+	var out []Finding
+	edges := 0
+	for _, pr := range u.Prog.Procs {
+		if len(pr.Blocks) == 0 {
+			continue
+		}
+		out = append(out, lintProc(pr, &edges)...)
+	}
+	ctx.Count("om.analyze.edges", int64(edges))
+	return out
+}
+
+// isReload reports whether the instruction restores a register from the
+// stack: `ldq r, off(sp)`. The slot's contents are not tracked — a
+// reload is trusted to bring back the caller's value, which the save
+// half of the discipline (a matching stq, checked by its very absence
+// tainting the ret) makes true in practice.
+func isReload(i alpha.Inst) bool {
+	return i.Op == alpha.OpLdq && i.Rb == alpha.SP
+}
+
+// taintProblem: tainted registers flow forward; a call's link write
+// taints ra, any ordinary write taints its target, a stack reload
+// cleans it.
+var taintProblem = dataflow.Problem{
+	Dir: dataflow.Forward,
+	Transfer: func(in *om.Inst) dataflow.Transfer {
+		t := dataflow.Identity()
+		w, ok := in.I.WritesReg()
+		if !ok {
+			return t
+		}
+		if isReload(in.I) {
+			t.Mask &^= om.RegSet(0).Add(w)
+		} else {
+			t.Gen = om.RegSet(0).Add(w)
+		}
+		return t
+	},
+}
+
+func lintProc(pr *om.Proc, edges *int) []Finding {
+	sol := &dataflow.Solver{Problem: taintProblem}
+	state := make([]om.RegSet, len(pr.Blocks))
+	sol.SolveProc(pr, state)
+	*edges += sol.Edges
+
+	var out []Finding
+	calls := false
+	clobbered := om.RegSet(0) // protected registers tainted at some ret
+	sol.VisitProc(pr, state, func(in *om.Inst, before, _ om.RegSet) {
+		switch in.I.Op {
+		case alpha.OpBsr, alpha.OpJsr:
+			calls = true
+		case alpha.OpRet:
+			clobbered |= before & calleeSaved
+			if calls && before.Has(alpha.RA) {
+				clobbered = clobbered.Add(alpha.RA)
+			}
+		}
+		if w, ok := in.I.WritesReg(); ok && w == alpha.GP {
+			out = append(out, Finding{Pass: "toollint", Sev: Warn, Proc: pr.Name, Addr: in.Addr,
+				Msg: "writes gp (the application's globals pointer is live at every instrumentation site)"})
+		}
+	})
+
+	// Anchor each clobber at the first tainting write so the finding
+	// points at the defect, not the return it escapes through.
+	if cs := clobbered & calleeSaved; cs != 0 {
+		firstWrite := map[alpha.Reg]uint64{}
+		sol.VisitProc(pr, state, func(in *om.Inst, _, _ om.RegSet) {
+			if w, ok := in.I.WritesReg(); ok && cs.Has(w) && !isReload(in.I) {
+				if _, seen := firstWrite[w]; !seen {
+					firstWrite[w] = in.Addr
+				}
+			}
+		})
+		for _, r := range cs.Regs() {
+			addr := pr.Addr
+			if a, ok := firstWrite[r]; ok {
+				addr = a
+			}
+			out = append(out, Finding{Pass: "toollint", Sev: Error, Proc: pr.Name, Addr: addr,
+				Msg: fmt.Sprintf("clobbers callee-save register %s without a matching save/restore", r)})
+		}
+	}
+	if clobbered.Has(alpha.RA) {
+		out = append(out, Finding{Pass: "toollint", Sev: Error, Proc: pr.Name, Addr: pr.Addr,
+			Msg: "calls other routines but returns without restoring ra from the frame"})
+	}
+	return out
+}

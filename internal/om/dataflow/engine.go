@@ -1,0 +1,307 @@
+package dataflow
+
+import (
+	"atom/internal/alpha"
+	"atom/internal/om"
+)
+
+// A generic worklist engine for register-set dataflow over the OM IR,
+// generalized from the liveness analysis: any monotone problem whose
+// values are om.RegSet and whose per-instruction transfer has the
+// mask/gen shape can run on it, forward or backward, with the same
+// per-procedure block fixpoint and (optionally) the same interprocedural
+// entry-summary outer loop. Liveness (backward, may) and the analysis
+// passes' reaching-definitions variant (forward, may) are both clients.
+
+// Direction orients a Problem: Backward propagates against control flow
+// (a block's input is joined from its CFG successors), Forward along it
+// (joined from its predecessors).
+type Direction int
+
+const (
+	Backward Direction = iota
+	Forward
+)
+
+// Transfer is one composable dataflow step: out = in&Mask | Gen. Every
+// per-instruction effect of the supported problems has this shape —
+// ordinary def/use, unknown call (Mask=0, Gen=everything), resolved call
+// (mask out the must-def, gen the summary) — so whole-block transfers
+// compose into the same two words and the block fixpoint costs O(1) per
+// visit.
+type Transfer struct{ Mask, Gen om.RegSet }
+
+// Apply runs the transfer on a value.
+func (t Transfer) Apply(v om.RegSet) om.RegSet { return v&t.Mask | t.Gen }
+
+// Then returns the composition "t, then f" in flow order: the transfer
+// of two consecutive steps where t is applied first.
+func (t Transfer) Then(f Transfer) Transfer {
+	return Transfer{Mask: t.Mask & f.Mask, Gen: t.Gen&f.Mask | f.Gen}
+}
+
+// Identity is the transfer of an empty instruction sequence.
+func Identity() Transfer { return Transfer{Mask: ^om.RegSet(0)} }
+
+// AllRegs is every architecturally meaningful register: everything but
+// the zero register, which has no state.
+func AllRegs() om.RegSet {
+	var s om.RegSet
+	for r := alpha.Reg(0); r < alpha.NumRegs; r++ {
+		if r != alpha.Zero {
+			s = s.Add(r)
+		}
+	}
+	return s
+}
+
+// Problem describes one dataflow problem. Starting every block value at
+// ∅ and growing to the least fixpoint is sound for may-problems as long
+// as every transfer is monotone and the conservative cases inject their
+// worst case wholesale (liveness: allLive; reaching defs: every
+// register).
+type Problem struct {
+	Dir Direction
+
+	// Transfer gives the transfer of one instruction. It is re-queried
+	// on every solve, so it may read mutable state (the interprocedural
+	// entry summaries) between rounds.
+	Transfer func(in *om.Inst) Transfer
+
+	// Boundary is the contribution to a block's joined input that no CFG
+	// edge represents: for a backward problem the continuation of its
+	// terminator (returns, indirect jumps, cross-procedure transfers,
+	// falling off the end); for a forward problem the value flowing into
+	// the procedure at its entry block. Nil means no contribution.
+	Boundary func(pr *om.Proc, b *om.Block) om.RegSet
+
+	// Unknown is joined in place of a CFG edge the IR cannot resolve (a
+	// successor whose Index does not name its slot in the procedure):
+	// the problem's worst case.
+	Unknown om.RegSet
+}
+
+// Solver runs a Problem procedure by procedure, keeping per-block state
+// external so an interprocedural outer loop can warm-start each round.
+// Edges counts CFG edge evaluations across all worklist passes — the
+// engine's work metric, reported by clients as a counter.
+type Solver struct {
+	Problem
+	Edges int
+}
+
+// validSuccs reports, per successor slot, whether the edge stays inside
+// the procedure (succ Index names its own slot in pr.Blocks).
+func validSucc(pr *om.Proc, s *om.Block) bool {
+	si := s.Index
+	return si >= 0 && si < len(pr.Blocks) && pr.Blocks[si] == s
+}
+
+// flowPreds returns, for each block, the blocks whose joined input reads
+// its state: CFG predecessors for a backward problem (a block's live-in
+// feeds its predecessors' outputs), CFG successors for a forward one.
+func (s *Solver) flowPreds(pr *om.Proc) [][]int {
+	n := len(pr.Blocks)
+	deps := make([][]int, n)
+	for bi, b := range pr.Blocks {
+		for _, sb := range b.Succs {
+			if !validSucc(pr, sb) {
+				continue
+			}
+			if s.Dir == Backward {
+				deps[sb.Index] = append(deps[sb.Index], bi)
+			} else {
+				deps[bi] = append(deps[bi], sb.Index)
+			}
+		}
+	}
+	return deps
+}
+
+// join computes a block's input value: the union of the neighboring
+// blocks' states across flow edges (Unknown for malformed edges), plus
+// the problem's Boundary contribution. For a backward problem the
+// neighbors are the block's CFG successors; for a forward one its
+// predecessors, which the caller supplies (nil for backward).
+func (s *Solver) join(pr *om.Proc, b *om.Block, state []om.RegSet, preds []int) om.RegSet {
+	var v om.RegSet
+	if s.Dir == Backward {
+		for _, sb := range b.Succs {
+			s.Edges++
+			if validSucc(pr, sb) {
+				v = v.Union(state[sb.Index])
+			} else {
+				v = v.Union(s.Unknown)
+			}
+		}
+	} else {
+		for _, pi := range preds {
+			s.Edges++
+			v = v.Union(state[pi])
+		}
+	}
+	if s.Boundary != nil {
+		v = v.Union(s.Boundary(pr, b))
+	}
+	return v
+}
+
+// cfgPreds returns each block's valid intra-procedure CFG predecessors.
+func cfgPreds(pr *om.Proc) [][]int {
+	preds := make([][]int, len(pr.Blocks))
+	for bi, b := range pr.Blocks {
+		for _, sb := range b.Succs {
+			if validSucc(pr, sb) {
+				preds[sb.Index] = append(preds[sb.Index], bi)
+			}
+		}
+	}
+	return preds
+}
+
+// SolveProc runs the per-procedure worklist to a fixpoint. state holds
+// one value per block — the block's flow output (live-in for a backward
+// problem, the value at the block's end for a forward one) — and is
+// updated in place, so a caller iterating to an interprocedural fixpoint
+// warm-starts from the previous round. Every block is seeded (so
+// unreachable blocks get sound solutions too), visited against the flow
+// direction first (reverse layout order for backward, layout order for
+// forward), and re-queued through its flow dependents when its value
+// grows.
+func (s *Solver) SolveProc(pr *om.Proc, state []om.RegSet) {
+	n := len(pr.Blocks)
+	if n == 0 {
+		return
+	}
+	trans := make([]Transfer, n)
+	for bi, b := range pr.Blocks {
+		trans[bi] = s.blockTransfer(b)
+	}
+	var preds [][]int // CFG predecessors; join inputs for Forward
+	if s.Dir == Forward {
+		preds = cfgPreds(pr)
+	}
+	deps := s.flowPreds(pr)
+	onList := make([]bool, n)
+	work := make([]int, 0, n)
+	for bi := 0; bi < n; bi++ {
+		// Popped from the tail: reverse layout order first for a
+		// backward problem, layout order first for a forward one.
+		if s.Dir == Backward {
+			work = append(work, bi)
+		} else {
+			work = append(work, n-1-bi)
+		}
+		onList[bi] = true
+	}
+	for len(work) > 0 {
+		bi := work[len(work)-1]
+		work = work[:len(work)-1]
+		onList[bi] = false
+		var p []int
+		if preds != nil {
+			p = preds[bi]
+		}
+		nv := trans[bi].Apply(s.join(pr, pr.Blocks[bi], state, p))
+		if nv != state[bi] {
+			state[bi] = nv
+			for _, di := range deps[bi] {
+				if !onList[di] {
+					work = append(work, di)
+					onList[di] = true
+				}
+			}
+		}
+	}
+}
+
+// blockTransfer composes the block's instruction transfers in flow
+// order.
+func (s *Solver) blockTransfer(b *om.Block) Transfer {
+	t := Identity()
+	if s.Dir == Backward {
+		for k := len(b.Insts) - 1; k >= 0; k-- {
+			t = t.Then(s.Transfer(b.Insts[k]))
+		}
+	} else {
+		for _, in := range b.Insts {
+			t = t.Then(s.Transfer(in))
+		}
+	}
+	return t
+}
+
+// VisitProc materializes per-instruction values from a solved block
+// state, calling visit once per instruction with the value before and
+// after it in PROGRAM order (for a backward problem the flow input is
+// "after"; for a forward one it is "before").
+func (s *Solver) VisitProc(pr *om.Proc, state []om.RegSet, visit func(in *om.Inst, before, after om.RegSet)) {
+	var preds [][]int
+	if s.Dir == Forward {
+		preds = cfgPreds(pr)
+	}
+	for bi, b := range pr.Blocks {
+		var p []int
+		if preds != nil {
+			p = preds[bi]
+		}
+		v := s.join(pr, b, state, p)
+		if s.Dir == Backward {
+			for k := len(b.Insts) - 1; k >= 0; k-- {
+				in := b.Insts[k]
+				after := v
+				v = s.Transfer(in).Apply(v)
+				visit(in, v, after)
+			}
+		} else {
+			for _, in := range b.Insts {
+				before := v
+				v = s.Transfer(in).Apply(v)
+				visit(in, before, v)
+			}
+		}
+	}
+}
+
+// NewState allocates the per-procedure block state the solver operates
+// on, all-∅ (the bottom of a may-problem's lattice).
+func NewState(p *om.Program) [][]om.RegSet {
+	state := make([][]om.RegSet, len(p.Procs))
+	for i, pr := range p.Procs {
+		state[i] = make([]om.RegSet, len(pr.Blocks))
+	}
+	return state
+}
+
+// Fixpoint runs the interprocedural outer loop: each round re-solves
+// every procedure against the current summaries (warm-started from the
+// last round), then re-extracts each procedure's summary; when a full
+// round leaves every summary unchanged, every procedure was solved
+// against the final summaries and the whole system is at its least
+// fixpoint. summarize extracts a procedure's summary from its solved
+// state; nil means the first block's value (the entry summary of a
+// backward problem). The Problem's Transfer/Boundary closures are
+// expected to read summary between rounds. Returns the round count.
+func (s *Solver) Fixpoint(procs []*om.Proc, state [][]om.RegSet, summary []om.RegSet, summarize func(pr *om.Proc, state []om.RegSet) om.RegSet) int {
+	if summarize == nil {
+		summarize = func(pr *om.Proc, state []om.RegSet) om.RegSet {
+			if len(state) > 0 {
+				return state[0]
+			}
+			return 0
+		}
+	}
+	rounds := 0
+	for changed := true; changed; {
+		changed = false
+		rounds++
+		for pi, pr := range procs {
+			s.SolveProc(pr, state[pi])
+			if e := summarize(pr, state[pi]); e != summary[pi] {
+				summary[pi] = e
+				changed = true
+			}
+		}
+	}
+	return rounds
+}

@@ -1,0 +1,164 @@
+package dataflow_test
+
+import (
+	"testing"
+
+	"atom/internal/alpha"
+	"atom/internal/om"
+	"atom/internal/om/dataflow"
+)
+
+// Edge cases the generic engine inherits from liveness and must keep:
+// indirect-transfer conservatism, single-block procedures, and
+// convergence of the interprocedural summary fixpoint on mutual
+// recursion. Plus a direct exercise of the Forward direction, which
+// liveness never uses.
+
+func reg(r alpha.Reg) om.RegSet { return om.RegSet(0).Add(r) }
+
+// TestLivenessIndirectConservatism: jsr and call_pal have unknown
+// callees, so everything is live immediately before them — even a
+// register the block itself defined just above.
+func TestLivenessIndirectConservatism(t *testing.T) {
+	ret := alpha.Inst{Op: alpha.OpRet, Ra: alpha.Zero, Rb: alpha.RA}
+	jsr := alpha.Inst{Op: alpha.OpJsr, Ra: alpha.RA, Rb: alpha.PV}
+	pal := alpha.Inst{Op: alpha.OpCallPal, PalFn: 0}
+	clrT0 := alpha.RI(alpha.OpAddq, alpha.Zero, 0, alpha.T0)
+
+	for _, tc := range []struct {
+		name string
+		call alpha.Inst
+	}{
+		{"jsr", jsr},
+		{"call_pal", pal},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := &om.Program{Procs: []*om.Proc{mkProc("p", 0, 0x1000,
+				[][]alpha.Inst{{clrT0, tc.call, ret}}, [][]int{{}})}}
+			lv := dataflow.Compute(p)
+			callIn := lv.LiveIn(p.Procs[0].Blocks[0].Insts[1])
+			for _, r := range []alpha.Reg{alpha.T0, alpha.S3, alpha.A0, alpha.AT} {
+				if !callIn.Has(r) {
+					t.Errorf("%s not live before %s: unknown callee must see everything", r, tc.name)
+				}
+			}
+			// The write above the call still kills t0 at entry: the
+			// conservative gen does not leak past a definition.
+			if lv.LiveIn(p.Procs[0].Blocks[0].Insts[0]).Has(alpha.T0) {
+				t.Error("t0 live at entry despite being defined before any use")
+			}
+		})
+	}
+}
+
+// TestLivenessSingleBlock: a one-block procedure (no CFG edges at all)
+// still solves: operands live at entry, the result dead.
+func TestLivenessSingleBlock(t *testing.T) {
+	ret := alpha.Inst{Op: alpha.OpRet, Ra: alpha.Zero, Rb: alpha.RA}
+	p := &om.Program{Procs: []*om.Proc{mkProc("one", 0, 0x1000,
+		[][]alpha.Inst{{alpha.RR(alpha.OpAddq, alpha.A0, alpha.A1, alpha.V0), ret}},
+		[][]int{{}})}}
+	lv := dataflow.Compute(p)
+	in := lv.LiveIn(firstInst(p, 0, 0))
+	if !in.Has(alpha.A0) || !in.Has(alpha.A1) {
+		t.Errorf("operands not live at entry: %v", in.Regs())
+	}
+	if in.Has(alpha.V0) {
+		t.Error("v0 live at entry despite being defined before the ret")
+	}
+	if lv.EntryLive("one") != in {
+		t.Error("entry summary disagrees with the entry block's live-in")
+	}
+}
+
+// TestLivenessMutualRecursion: two procedures calling each other through
+// bsr converge to a finite summary fixpoint, with the caller-side kills
+// (v0 defined before use in both, ra must-defined by bsr) visible in the
+// entry summaries.
+func TestLivenessMutualRecursion(t *testing.T) {
+	ret := alpha.Inst{Op: alpha.OpRet, Ra: alpha.Zero, Rb: alpha.RA}
+	// a @ 0x1000: v0 = a0; bsr b; ret
+	a := mkProc("a", 0, 0x1000, [][]alpha.Inst{{
+		alpha.RR(alpha.OpAddq, alpha.A0, alpha.Zero, alpha.V0), // 0x1000
+		alpha.Br(alpha.OpBsr, alpha.RA, (0x2000-0x1008)/4),     // 0x1004 -> b
+		ret, // 0x1008
+	}}, [][]int{{}})
+	// b @ 0x2000: v0 = a1; beq t0, skip; bsr a; skip: ret
+	b := mkProc("b", 1, 0x2000, [][]alpha.Inst{
+		{
+			alpha.RR(alpha.OpAddq, alpha.A1, alpha.Zero, alpha.V0), // 0x2000
+			alpha.Br(alpha.OpBeq, alpha.T0, 1),                     // 0x2004 -> 0x200c
+		},
+		{alpha.Br(alpha.OpBsr, alpha.RA, (0x1000-0x200c)/4)}, // 0x2008 -> a
+		{ret}, // 0x200c
+	}, [][]int{{1, 2}, {2}, {}})
+	p := &om.Program{Procs: []*om.Proc{a, b}}
+
+	lv := dataflow.Compute(p)
+	if lv.Rounds < 2 {
+		t.Errorf("mutual recursion converged in %d round(s); the summaries cannot have propagated", lv.Rounds)
+	}
+	ea, eb := lv.EntryLive("a"), lv.EntryLive("b")
+	if ea.Has(alpha.V0) || eb.Has(alpha.V0) {
+		t.Errorf("v0 live at an entry despite being defined first in both procs (a=%v b=%v)", ea.Regs(), eb.Regs())
+	}
+	if ea.Has(alpha.RA) {
+		t.Error("ra live at a's entry despite the bsr must-define")
+	}
+	if !ea.Has(alpha.A0) || !ea.Has(alpha.A1) {
+		t.Errorf("callee reads not propagated into a's summary: %v", ea.Regs())
+	}
+	if !eb.Has(alpha.T0) {
+		t.Error("branch condition t0 not live at b's entry")
+	}
+}
+
+// TestEngineForward drives the engine in the Forward direction (which
+// liveness never uses) with a may-defined problem over a diamond: both
+// arms define t0, the join block's output must contain it plus its own
+// definition, and nothing else appears from nowhere.
+func TestEngineForward(t *testing.T) {
+	ret := alpha.Inst{Op: alpha.OpRet, Ra: alpha.Zero, Rb: alpha.RA}
+	pr := mkProc("d", 0, 0x1000, [][]alpha.Inst{
+		{alpha.Br(alpha.OpBeq, alpha.A0, 2)},                                                   // b0 -> b2
+		{alpha.RI(alpha.OpAddq, alpha.Zero, 1, alpha.T0), alpha.Br(alpha.OpBr, alpha.Zero, 1)}, // b1
+		{alpha.RI(alpha.OpAddq, alpha.Zero, 2, alpha.T0)},                                      // b2
+		{alpha.RR(alpha.OpAddq, alpha.T0, alpha.A0, alpha.V0), ret},                            // b3
+	}, [][]int{{1, 2}, {3}, {3}, {}})
+
+	sol := &dataflow.Solver{Problem: dataflow.Problem{
+		Dir: dataflow.Forward,
+		Transfer: func(in *om.Inst) dataflow.Transfer {
+			tr := dataflow.Identity()
+			if w, ok := in.I.WritesReg(); ok {
+				tr.Gen = reg(w)
+			}
+			return tr
+		},
+	}}
+	state := make([]om.RegSet, len(pr.Blocks))
+	sol.SolveProc(pr, state)
+
+	if want := reg(alpha.T0).Add(alpha.V0); state[3] != want {
+		t.Errorf("join block out = %v, want %v", state[3].Regs(), want.Regs())
+	}
+	if state[0] != 0 {
+		t.Errorf("entry block defines nothing but has out %v", state[0].Regs())
+	}
+	// Per-instruction materialization in program order: t0 is defined
+	// before the join block's first instruction, v0 only after it.
+	sol.VisitProc(pr, state, func(in *om.Inst, before, after om.RegSet) {
+		if in != pr.Blocks[3].Insts[0] {
+			return
+		}
+		if !before.Has(alpha.T0) || before.Has(alpha.V0) {
+			t.Errorf("before join inst: %v", before.Regs())
+		}
+		if !after.Has(alpha.V0) {
+			t.Errorf("after join inst: %v", after.Regs())
+		}
+	})
+	if sol.Edges == 0 {
+		t.Error("forward solve evaluated no edges")
+	}
+}

@@ -28,24 +28,16 @@ import (
 // neither the callee nor any post-return code can observe the caller's
 // pre-call ra, so ra is dead immediately before every resolved bsr.
 //
-// Starting every set at ∅ and growing to the least fixpoint is sound for
-// may-liveness: the result over-approximates nothing and misses no path,
-// because every transfer is monotone and the conservative cases inject
-// allLive wholesale.
+// The fixpoint itself runs on the generic engine (engine.go) as a
+// Backward Problem: instTransfer is the per-instruction transfer,
+// liveBoundary the conservative continuation of each block's terminator,
+// and allLive the worst case joined over malformed edges.
 
 // allLive is every architecturally meaningful register: the caller-save
 // set shared with the modified-register summary plus the callee-save
 // registers (an unknown callee may read those too — it must, to save
 // them). The zero register has no state and is never live.
-var allLive = func() om.RegSet {
-	s := ConservativeCallerSave()
-	for r := alpha.Reg(0); r < alpha.NumRegs; r++ {
-		if r != alpha.Zero {
-			s = s.Add(r)
-		}
-	}
-	return s
-}()
+var allLive = AllRegs()
 
 var raBit = om.RegSet(0).Add(alpha.RA)
 
@@ -90,23 +82,6 @@ func (l *Liveness) EntryLive(proc string) om.RegSet {
 	return allLive
 }
 
-// transfer is one composable backward step: liveIn = liveOut&mask | gen.
-// Every per-instruction effect has this shape — ordinary def/use
-// (mask=^def, gen=use), unknown call (mask=0, gen=allLive), resolved call
-// (mask=^{ra}, gen=calleeEntry\{ra}) — so whole-block transfers compose
-// into the same two words and the block fixpoint costs O(1) per visit.
-type transfer struct{ mask, gen om.RegSet }
-
-func (t transfer) apply(out om.RegSet) om.RegSet { return out&t.mask | t.gen }
-
-// compose returns f∘t: t applied to the block's live-out first, then f
-// (f is the transfer of the instruction ABOVE the ones t covers).
-func (t transfer) compose(f transfer) transfer {
-	return transfer{mask: t.mask & f.mask, gen: t.gen&f.mask | f.gen}
-}
-
-var identity = transfer{mask: allLive}
-
 // Compute runs the analysis over a program.
 func Compute(p *om.Program) *Liveness { return ComputeCtx(nil, p) }
 
@@ -137,45 +112,25 @@ func ComputeCtx(ctx *obs.Ctx, p *om.Program) *Liveness {
 		liveOut: make(map[*om.Inst]om.RegSet, p.NumInsts()),
 		entry:   make(map[string]om.RegSet, len(p.Procs)),
 	}
-	in := make([][]om.RegSet, len(p.Procs)) // block live-in, kept across rounds
-	for i, pr := range p.Procs {
-		in[i] = make([]om.RegSet, len(pr.Blocks))
-	}
 
-	// Outer fixpoint over the entry summaries. Each round re-solves every
-	// procedure against the current summaries (warm-started from the last
-	// round); when a full round leaves every summary unchanged, every
-	// procedure was solved against the final summaries and the whole
-	// system is at its least fixpoint.
-	for changed := true; changed; {
-		changed = false
-		lv.Rounds++
-		for pi, pr := range p.Procs {
-			solveProc(pr, in[pi], entryOf, &lv.Edges)
-			var e om.RegSet
-			if len(pr.Blocks) > 0 {
-				e = in[pi][0]
-			}
-			if e != entry[pi] {
-				entry[pi] = e
-				changed = true
-			}
-		}
-	}
+	sol := &Solver{Problem: Problem{
+		Dir:      Backward,
+		Transfer: func(in *om.Inst) Transfer { return instTransfer(in, entryOf) },
+		Boundary: func(pr *om.Proc, b *om.Block) om.RegSet { return liveBoundary(b, entryOf) },
+		Unknown:  allLive,
+	}}
+	state := NewState(p)
+	lv.Rounds = sol.Fixpoint(p.Procs, state, entry, nil)
 
 	// Materialize per-instruction sets from the block solution.
 	for pi, pr := range p.Procs {
 		lv.entry[pr.Name] = entry[pi]
-		for bi, b := range pr.Blocks {
-			out := blockOut(pr, b, bi, in[pi], entryOf, &lv.Edges)
-			for k := len(b.Insts) - 1; k >= 0; k-- {
-				i := b.Insts[k]
-				lv.liveOut[i] = out
-				out = instTransfer(i, entryOf).apply(out)
-				lv.liveIn[i] = out
-			}
-		}
+		sol.VisitProc(pr, state[pi], func(in *om.Inst, before, after om.RegSet) {
+			lv.liveIn[in] = before
+			lv.liveOut[in] = after
+		})
 	}
+	lv.Edges = sol.Edges
 
 	sp.SetAttr(
 		obs.Int("rounds", int64(lv.Rounds)),
@@ -185,66 +140,13 @@ func ComputeCtx(ctx *obs.Ctx, p *om.Program) *Liveness {
 	return lv
 }
 
-// solveProc runs the intra-procedure worklist to a fixpoint given the
-// current entry summaries. Every block is seeded (so unreachable blocks
-// get sound solutions too), visited in reverse layout order first, and
-// re-queued via predecessor edges when its live-in grows.
-func solveProc(pr *om.Proc, in []om.RegSet, entryOf func(uint64) (om.RegSet, bool), edges *int) {
-	n := len(pr.Blocks)
-	if n == 0 {
-		return
-	}
-	trans := make([]transfer, n)
-	for bi, b := range pr.Blocks {
-		trans[bi] = blockTransfer(b, entryOf)
-	}
-	preds := make([][]int, n)
-	for bi, b := range pr.Blocks {
-		for _, s := range b.Succs {
-			if si := s.Index; si >= 0 && si < n && pr.Blocks[si] == s {
-				preds[si] = append(preds[si], bi)
-			}
-		}
-	}
-	onList := make([]bool, n)
-	work := make([]int, 0, n)
-	for bi := 0; bi < n; bi++ {
-		work = append(work, bi) // popped from the tail: reverse order first
-		onList[bi] = true
-	}
-	for len(work) > 0 {
-		bi := work[len(work)-1]
-		work = work[:len(work)-1]
-		onList[bi] = false
-		nin := trans[bi].apply(blockOut(pr, pr.Blocks[bi], bi, in, entryOf, edges))
-		if nin != in[bi] {
-			in[bi] = nin
-			for _, pi := range preds[bi] {
-				if !onList[pi] {
-					work = append(work, pi)
-					onList[pi] = true
-				}
-			}
-		}
-	}
-}
-
-// blockOut computes a block's live-out: the union of its successor
-// blocks' live-ins plus the conservative contribution of any control
-// transfer its CFG edges do not represent (returns, indirect jumps,
-// cross-procedure branches, falling off the procedure).
-func blockOut(pr *om.Proc, b *om.Block, bi int, in []om.RegSet, entryOf func(uint64) (om.RegSet, bool), edges *int) om.RegSet {
-	var out om.RegSet
-	for _, s := range b.Succs {
-		*edges++
-		if si := s.Index; si >= 0 && si < len(pr.Blocks) && pr.Blocks[si] == s {
-			out = out.Union(in[si])
-		} else {
-			out = allLive // edge into another procedure: malformed IR
-		}
-	}
+// liveBoundary is the conservative contribution to a block's live-out
+// that its CFG edges do not represent: the continuation of a return or
+// indirect jump (everything), a resolved cross-procedure transfer (the
+// callee's entry summary), or falling off the end of the procedure.
+func liveBoundary(b *om.Block, entryOf func(uint64) (om.RegSet, bool)) om.RegSet {
 	if len(b.Insts) == 0 {
-		return out
+		return 0
 	}
 	// cont is the contribution of a transfer to addr that may not have a
 	// CFG edge: nothing if an edge covers it, the callee's entry summary
@@ -267,42 +169,33 @@ func blockOut(pr *om.Proc, b *om.Block, bi int, in []om.RegSet, entryOf func(uin
 		return allLive
 	case op.IsCondBranch():
 		target := last.Addr + 4 + uint64(int64(last.I.Disp)*4)
-		return out.Union(cont(target)).Union(cont(last.Addr + 4))
+		return cont(target).Union(cont(last.Addr + 4))
 	case op == alpha.OpBr:
 		target := last.Addr + 4 + uint64(int64(last.I.Disp)*4)
-		return out.Union(cont(target))
+		return cont(target)
 	default:
-		return out.Union(cont(last.Addr + 4))
+		return cont(last.Addr + 4)
 	}
-}
-
-// blockTransfer composes the block's instruction transfers bottom-up.
-func blockTransfer(b *om.Block, entryOf func(uint64) (om.RegSet, bool)) transfer {
-	t := identity
-	for k := len(b.Insts) - 1; k >= 0; k-- {
-		t = t.compose(instTransfer(b.Insts[k], entryOf))
-	}
-	return t
 }
 
 // instTransfer is the backward transfer of one instruction.
-func instTransfer(in *om.Inst, entryOf func(uint64) (om.RegSet, bool)) transfer {
+func instTransfer(in *om.Inst, entryOf func(uint64) (om.RegSet, bool)) Transfer {
 	switch in.I.Op {
 	case alpha.OpJsr, alpha.OpCallPal:
 		// Unknown callee: it may read anything, and nothing about the
 		// pre-call state can be inferred from what happens after it.
-		return transfer{mask: 0, gen: allLive}
+		return Transfer{Mask: 0, Gen: allLive}
 	case alpha.OpBsr:
 		target := in.Addr + 4 + uint64(int64(in.I.Disp)*4)
 		e, known := entryOf(target)
 		if !known {
-			return transfer{mask: 0, gen: allLive}
+			return Transfer{Mask: 0, Gen: allLive}
 		}
 		// Resolved direct call: the callee reads its entry summary, and
 		// whatever outlives the return passes through — except ra, which
 		// the bsr itself must-defines, so no one downstream can observe
 		// the caller's pre-call value.
-		return transfer{mask: allLive &^ raBit, gen: e &^ raBit}
+		return Transfer{Mask: allLive &^ raBit, Gen: e &^ raBit}
 	}
 	var use om.RegSet
 	for _, r := range in.I.ReadsRegs(nil) {
@@ -312,5 +205,5 @@ func instTransfer(in *om.Inst, entryOf func(uint64) (om.RegSet, bool)) transfer 
 	if w, ok := in.I.WritesReg(); ok {
 		mask &^= om.RegSet(0).Add(w)
 	}
-	return transfer{mask: mask, gen: use}
+	return Transfer{Mask: mask, Gen: use}
 }
