@@ -22,6 +22,15 @@
 //	atom -t prof -run -profile p.txt prog.x # instrument, run, profile
 //	atom -run -profile p.folded -profile-format=folded prog.x
 //
+// -vm-mode selects the dispatch strategy — plain (decode every
+// instruction), predecode (decoded-text cache), or superblock (the
+// default: trace-linked superblock cache, roughly 2.5x predecode). All
+// three retire bit-identical architectural state, so the slower modes
+// exist for ablation and differential testing:
+//
+//	atom -run -vm-mode=plain prog.x         # decode-each baseline
+//	atom -run -vm-mode=superblock prog.x    # default dispatch
+//
 // The pipeline is observable end to end:
 //
 //	atom -t cache -trace t.json prog.x   # Chrome trace (chrome://tracing)
@@ -126,6 +135,7 @@ func run() (code int) {
 		verifyTrace   = flag.String("verify-trace", "", "validate a trace file written by -trace and exit (CI smoke)")
 		verifyFolded  = flag.String("verify-folded", "", "validate a folded-stack profile written by -profile-format=folded and exit (CI smoke)")
 		runMode       = flag.Bool("run", false, "execute the (instrumented) program on the VM; extra arguments become its argv")
+		vmMode        = flag.String("vm-mode", "superblock", "VM dispatch strategy for -run, slowest to fastest: plain (decode every instruction) | predecode (decoded-text cache) | superblock (trace-linked superblock cache); all three retire bit-identical state")
 		profilePath   = flag.String("profile", "", "sample the VM run and write the profile to this file (implies -run)")
 		profilePeriod = flag.Uint64("profile-period", 10000, "sampling period in retired instructions")
 		profileFormat = flag.String("profile-format", "flat", "profile report format: flat | folded")
@@ -378,6 +388,10 @@ func run() (code int) {
 	}
 
 	if doRun {
+		vmm, err := vm.ParseMode(*vmMode)
+		if err != nil {
+			return fail(err)
+		}
 		return runUnderVM(ctx, metricsSink, runConfig{
 			input:         flag.Arg(0),
 			progArgs:      flag.Args()[1:],
@@ -390,6 +404,7 @@ func run() (code int) {
 			profilePeriod: *profilePeriod,
 			profileFormat: *profileFormat,
 			stats:         *stats,
+			vmMode:        vmm,
 		})
 	}
 
@@ -530,6 +545,7 @@ type runConfig struct {
 	profilePeriod uint64
 	profileFormat string
 	stats         bool
+	vmMode        vm.Mode
 }
 
 // runUnderVM executes one program on the VM — instrumenting it first
@@ -549,6 +565,7 @@ func runUnderVM(ctx *obs.Ctx, metricsSink *obs.MetricsSink, rc runConfig) int {
 		Args: rc.progArgs,
 		FS:   map[string][]byte{},
 		Obs:  ctx,
+		Mode: rc.vmMode,
 	}
 	var pcMap func(uint64) (uint64, bool)
 	procs := prof.ProcsFromSymbols(app.Symbols)
@@ -583,7 +600,9 @@ func runUnderVM(ctx *obs.Ctx, metricsSink *obs.MetricsSink, rc runConfig) int {
 	if err != nil {
 		return fail(fmt.Errorf("%s: %w", rc.input, err))
 	}
+	runStart := time.Now()
 	exitCode, runErr := m.Run()
+	runWall := time.Since(runStart)
 	os.Stdout.Write(m.Stdout)
 	os.Stderr.Write(m.Stderr)
 	for _, path := range m.Paths() {
@@ -619,6 +638,9 @@ func runUnderVM(ctx *obs.Ctx, metricsSink *obs.MetricsSink, rc runConfig) int {
 		doc := newRunDoc(ctx, metricsSink, rc.tool.Name, []string{rc.input})
 		if runErr != nil {
 			doc.Failed = []string{rc.input}
+		}
+		if secs := runWall.Seconds(); secs > 0 {
+			doc.VMMinstS = float64(m.Icount) / 1e6 / secs
 		}
 		if err := figures.WriteRunJSON(rc.benchJSON, doc); err != nil {
 			fmt.Fprintln(os.Stderr, "atom:", err)
@@ -801,7 +823,7 @@ func scrape(url string) int {
 }
 
 // newRunDoc assembles the common part of a bench JSON run document
-// (schema atom-run/v6): per-phase totals including the lift, the three
+// (schema atom-run/v7): per-phase totals including the lift, the three
 // cache stat blocks, the disk-store block when a persistent store is
 // configured, counters, the inline block, and histograms.
 func newRunDoc(ctx *obs.Ctx, metricsSink *obs.MetricsSink, toolName string, programs []string) figures.RunDoc {
@@ -934,18 +956,28 @@ func runTable(which, progList, benchJSON string, verbose bool) int {
 		}
 		figures.PrintFig5(os.Stdout, rows)
 		if benchJSON != "" {
-			if err := figures.WriteBenchJSON(benchJSON, rows, nil, hists); err != nil {
+			if err := figures.WriteBenchJSON(benchJSON, rows, nil, 0, hists); err != nil {
 				return fail(err)
 			}
 		}
 	case "fig6":
+		// The fig6 measurement executes every suite program on the VM, so
+		// the process-wide retired-instruction delta over its wall time is
+		// the interpreter's aggregate retirement rate (vm_minst_s).
+		icount0 := vm.Totals().Icount
+		start := time.Now()
 		rows, hists, err := figures.Fig6(names, progress)
+		wall := time.Since(start)
 		if err != nil {
 			return fail(err)
 		}
 		figures.PrintFig6(os.Stdout, rows)
 		if benchJSON != "" {
-			if err := figures.WriteBenchJSON(benchJSON, nil, rows, hists); err != nil {
+			var minstS float64
+			if secs := wall.Seconds(); secs > 0 {
+				minstS = float64(vm.Totals().Icount-icount0) / 1e6 / secs
+			}
+			if err := figures.WriteBenchJSON(benchJSON, nil, rows, minstS, hists); err != nil {
 				return fail(err)
 			}
 		}

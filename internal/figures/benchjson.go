@@ -20,10 +20,15 @@ import (
 // notably atom.site_live_regs and atom.site_saved_regs, the per-site
 // caller-save live-set and save-set sizes the liveness analysis acts on.
 type BenchJSON struct {
-	Schema string           `json:"schema"` // "atom-bench/v6"
-	Fig5   []BenchFig5Row   `json:"fig5,omitempty"`
-	Fig6   []BenchFig6Row   `json:"fig6,omitempty"`
-	Hists  []BenchHistogram `json:"histograms,omitempty"`
+	Schema string         `json:"schema"` // "atom-bench/v7"
+	Fig5   []BenchFig5Row `json:"fig5,omitempty"`
+	Fig6   []BenchFig6Row `json:"fig6,omitempty"`
+	// VMMinstS is the interpreter's retirement rate over the uninstrumented
+	// VM runs of the measurement, in millions of instructions per second of
+	// wall time (schema v7). Zero — and omitted — when the measurement ran
+	// no programs under the VM (fig5).
+	VMMinstS float64          `json:"vm_minst_s,omitempty"`
+	Hists    []BenchHistogram `json:"histograms,omitempty"`
 }
 
 // BenchPhases is a per-phase time breakdown in milliseconds, as measured
@@ -113,9 +118,11 @@ type BenchFig6Row struct {
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // WriteBenchJSON writes Figure 5/6 measurements as JSON to path. Either
-// row slice (and the histogram snapshot) may be nil.
-func WriteBenchJSON(path string, fig5 []Fig5Row, fig6 []Fig6Row, hists []obs.Hist) error {
-	doc := BenchJSON{Schema: "atom-bench/v6", Hists: Histograms(hists)}
+// row slice (and the histogram snapshot) may be nil. vmMinstS is the
+// VM retirement rate for measurements that executed programs (fig6);
+// pass 0 when nothing ran under the VM.
+func WriteBenchJSON(path string, fig5 []Fig5Row, fig6 []Fig6Row, vmMinstS float64, hists []obs.Hist) error {
+	doc := BenchJSON{Schema: "atom-bench/v7", VMMinstS: vmMinstS, Hists: Histograms(hists)}
 	if len(doc.Hists) == 0 {
 		doc.Hists = nil
 	}
@@ -158,10 +165,14 @@ func WriteBenchJSON(path string, fig5 []Fig5Row, fig6 []Fig6Row, hists []obs.His
 // writes: one instrument-mode run with its per-phase breakdown and cache
 // statistics.
 type RunDoc struct {
-	Schema   string          `json:"schema"` // "atom-run/v6"
-	Tool     string          `json:"tool"`
-	Programs []string        `json:"programs"`
-	Failed   []string        `json:"failed,omitempty"`
+	Schema   string   `json:"schema"` // "atom-run/v7"
+	Tool     string   `json:"tool"`
+	Programs []string `json:"programs"`
+	Failed   []string `json:"failed,omitempty"`
+	// VMMinstS is the VM's retirement rate for -run invocations, in
+	// millions of instructions per second of wall time (schema v7).
+	// Zero — and omitted — for instrument-only runs.
+	VMMinstS float64         `json:"vm_minst_s,omitempty"`
 	Phases   BenchPhases     `json:"phases"`
 	Inline   *BenchInline    `json:"inline,omitempty"`
 	Image    BenchCacheStats `json:"image_cache"`
@@ -231,9 +242,10 @@ func Histograms(hs []obs.Hist) []BenchHistogram {
 // store.<kind>.* names; v5 drops the legacy aliases — store.<kind>.*
 // is the only counter family — and adds the adopted field to
 // disk_store; v6 adds analyze_ms to phases, covering -analyze and the
-// -vet analyze stages.
+// -vet analyze stages; v7 adds vm_minst_s, the VM retirement rate of
+// -run invocations.
 func WriteRunJSON(path string, doc RunDoc) error {
-	doc.Schema = "atom-run/v6"
+	doc.Schema = "atom-run/v7"
 	return writeJSON(path, doc)
 }
 

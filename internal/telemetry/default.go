@@ -70,6 +70,10 @@ func RegisterProcessGauges(r *Registry) {
 	r.SetGauge("vm.total.loads", func() int64 { return int64(vm.Totals().Loads) })
 	r.SetGauge("vm.total.stores", func() int64 { return int64(vm.Totals().Stores) })
 	r.SetGauge("vm.total.syscalls", func() int64 { return int64(vm.Totals().Syscalls) })
+	r.SetGauge("vm.total.sb.built", func() int64 { return int64(vm.Totals().SBBuilt) })
+	r.SetGauge("vm.total.sb.hits", func() int64 { return int64(vm.Totals().SBHits) })
+	r.SetGauge("vm.total.sb.links", func() int64 { return int64(vm.Totals().SBLinks) })
+	r.SetGauge("vm.total.sb.invalidations", func() int64 { return int64(vm.Totals().SBInval) })
 	r.SetGauge("prof.total.samples", func() int64 { return int64(prof.TotalSamplesAll()) })
 }
 

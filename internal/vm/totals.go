@@ -14,6 +14,10 @@ var (
 	totalStores    atomic.Uint64
 	totalSyscalls  atomic.Uint64
 	totalUnaligned atomic.Uint64
+	totalSBBuilt   atomic.Uint64
+	totalSBHits    atomic.Uint64
+	totalSBLinks   atomic.Uint64
+	totalSBInval   atomic.Uint64
 )
 
 // TotalStats is a snapshot of process-wide VM activity.
@@ -24,6 +28,11 @@ type TotalStats struct {
 	Stores    uint64
 	Syscalls  uint64
 	Unaligned uint64
+	// Superblock-cache activity (zero outside ModeSuperblock).
+	SBBuilt uint64 // superblocks harvested
+	SBHits  uint64 // block executions, including trace-link transitions
+	SBLinks uint64 // trace links installed
+	SBInval uint64 // blocks dropped by stores into text
 }
 
 // Totals returns a snapshot of the process-wide execution totals.
@@ -35,5 +44,9 @@ func Totals() TotalStats {
 		Stores:    totalStores.Load(),
 		Syscalls:  totalSyscalls.Load(),
 		Unaligned: totalUnaligned.Load(),
+		SBBuilt:   totalSBBuilt.Load(),
+		SBHits:    totalSBHits.Load(),
+		SBLinks:   totalSBLinks.Load(),
+		SBInval:   totalSBInval.Load(),
 	}
 }

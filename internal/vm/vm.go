@@ -67,11 +67,21 @@ type Config struct {
 	// SamplePeriod is the sampling period in retired instructions; zero
 	// disables Sample callbacks.
 	SamplePeriod uint64
+	// Mode selects the dispatch strategy (see mode.go); the zero value
+	// selects superblock dispatch. All modes retire the identical
+	// architectural state — Mode is an ablation/debugging knob, not a
+	// semantic one. Trace and Probe callbacks force per-instruction
+	// dispatch regardless of Mode, so observed event sequences are
+	// bit-identical across modes.
+	Mode Mode
 	// noPredecode disables the text predecode cache, re-decoding every
 	// retired instruction as earlier versions did. Ablation knob for
 	// BenchmarkVMRun; not exported because there is no reason to run
-	// this way in production.
+	// this way in production (use Mode instead).
 	noPredecode bool
+	// noSuperblock caps dispatch at the predecode fast path, mirroring
+	// noPredecode one layer up.
+	noSuperblock bool
 }
 
 // Probe receives control-flow events from a running machine.
@@ -115,9 +125,20 @@ type Machine struct {
 	// invalid and fault only if fetched. Stores into text (none of our
 	// programs do this, but the ISA allows it) re-decode the affected
 	// slots to keep the cache coherent.
-	code     []alpha.Inst
-	codeOK   []bool
-	textEnd  uint64
+	code    []alpha.Inst
+	codeOK  []bool
+	textEnd uint64
+	// Superblock cache (ModeSuperblock only; see superblock.go). sbByIdx
+	// maps text word index -> block entered at that PC (sbNone marks
+	// unbuildable entries); sbAll is the registry invalidation scans;
+	// sbGen invalidates trace links wholesale when bumped.
+	sbByIdx  []*superblock
+	sbAll    []*superblock
+	sbGen    uint64
+	sbBuilt  uint64 // superblocks harvested
+	sbHits   uint64 // block executions (incl. link transitions)
+	sbLinks  uint64 // trace links installed
+	sbInval  uint64 // blocks dropped by stores into text
 	heapBase uint64
 	brk      uint64 // application zone break
 	brk2     uint64 // analysis zone break (== brk storage when linked)
@@ -160,7 +181,7 @@ func New(exe *aout.File, cfg Config) (*Machine, error) {
 	copy(m.Mem[exe.TextAddr:], exe.Text)
 	copy(m.Mem[exe.DataAddr:], exe.Data)
 	m.textEnd = exe.TextAddr + uint64(len(exe.Text))
-	if !cfg.noPredecode {
+	if mode := cfg.dispatchMode(); mode != ModePlain {
 		n := len(exe.Text) / 4
 		m.code = make([]alpha.Inst, n)
 		m.codeOK = make([]bool, n)
@@ -168,6 +189,9 @@ func New(exe *aout.File, cfg Config) (*Machine, error) {
 			if inst, err := alpha.Decode(le32(exe.Text[i*4:])); err == nil {
 				m.code[i], m.codeOK[i] = inst, true
 			}
+		}
+		if mode == ModeSuperblock {
+			m.sbByIdx = make([]*superblock, n)
 		}
 	}
 	m.heapBase = align8(bssEnd)
@@ -226,6 +250,7 @@ func (m *Machine) Run() (int, error) {
 	// Process-wide totals flush as deltas, like the obs counters below,
 	// so repeated Run/Step mixes and many machines aggregate correctly.
 	ti, tl, ts, tu, ty := m.Icount, m.Loads, m.Stores, m.Unaligned, m.Syscalls
+	sb0, sh0, sl0, sv0 := m.sbBuilt, m.sbHits, m.sbLinks, m.sbInval
 	defer func() {
 		totalRuns.Add(1)
 		totalInstr.Add(m.Icount - ti)
@@ -233,6 +258,10 @@ func (m *Machine) Run() (int, error) {
 		totalStores.Add(m.Stores - ts)
 		totalUnaligned.Add(m.Unaligned - tu)
 		totalSyscalls.Add(m.Syscalls - ty)
+		totalSBBuilt.Add(m.sbBuilt - sb0)
+		totalSBHits.Add(m.sbHits - sh0)
+		totalSBLinks.Add(m.sbLinks - sl0)
+		totalSBInval.Add(m.sbInval - sv0)
 	}()
 	if m.cfg.Obs.Enabled() {
 		var spanAttrs []obs.Attr
@@ -249,9 +278,22 @@ func (m *Machine) Run() (int, error) {
 			m.cfg.Obs.Count("vm.stores", int64(m.Stores-s0))
 			m.cfg.Obs.Count("vm.unaligned", int64(m.Unaligned-u0))
 			m.cfg.Obs.Count("vm.syscalls", int64(m.Syscalls-p0))
+			if m.sbByIdx != nil {
+				m.cfg.Obs.Count("vm.sb.built", int64(m.sbBuilt-sb0))
+				m.cfg.Obs.Count("vm.sb.hits", int64(m.sbHits-sh0))
+				m.cfg.Obs.Count("vm.sb.links", int64(m.sbLinks-sl0))
+				m.cfg.Obs.Count("vm.sb.invalidations", int64(m.sbInval-sv0))
+			}
 			sp.SetAttr(obs.Int("icount", int64(m.Icount-i0)))
 			sp.End()
 		}()
+	}
+	// Hottest path: superblock dispatch retires whole harvested blocks
+	// per loop iteration. Any per-instruction observer — tracer, probe
+	// (the profiler) — forces the per-instruction paths below so event
+	// sequences stay bit-identical.
+	if m.sbByIdx != nil && m.cfg.Trace == nil && m.cfg.Probe == nil {
+		return m.runSuperblocks()
 	}
 	// Hot path: without a tracer or a sampling probe there is nothing to
 	// check per retired instruction, so the loop runs fetch/count/execute
@@ -260,7 +302,7 @@ func (m *Machine) Run() (int, error) {
 	if m.cfg.Trace == nil && (m.cfg.Probe == nil || m.cfg.SamplePeriod == 0) && m.code != nil {
 		for !m.halted {
 			if m.Icount >= m.cfg.MaxInstr {
-				return 0, fmt.Errorf("vm: instruction budget %d exhausted at pc %#x", m.cfg.MaxInstr, m.PC)
+				return 0, budgetErr(m.cfg.MaxInstr, m.PC)
 			}
 			if m.PC < m.exe.TextAddr || m.PC+4 > m.textEnd || m.PC%4 != 0 {
 				return 0, m.faultf("instruction fetch from %#x outside text", m.PC)
@@ -278,13 +320,19 @@ func (m *Machine) Run() (int, error) {
 	}
 	for !m.halted {
 		if m.Icount >= m.cfg.MaxInstr {
-			return 0, fmt.Errorf("vm: instruction budget %d exhausted at pc %#x", m.cfg.MaxInstr, m.PC)
+			return 0, budgetErr(m.cfg.MaxInstr, m.PC)
 		}
 		if err := m.Step(); err != nil {
 			return 0, err
 		}
 	}
 	return m.exitCode, nil
+}
+
+// budgetErr is the MaxInstr exhaustion error; one constructor so every
+// dispatch mode produces the identical text.
+func budgetErr(max, pc uint64) error {
+	return fmt.Errorf("vm: instruction budget %d exhausted at pc %#x", max, pc)
 }
 
 // fetch returns the decoded instruction at m.PC, from the predecode
@@ -545,6 +593,9 @@ func (m *Machine) store(i alpha.Inst) error {
 	}
 	if m.code != nil && addr < m.textEnd && addr+uint64(size) > m.exe.TextAddr {
 		m.redecode(addr, size)
+		if m.sbByIdx != nil {
+			m.sbInvalidate(addr, size)
+		}
 	}
 	return nil
 }
